@@ -1,0 +1,108 @@
+// Command percival-browse renders a page from the synthetic web with and
+// without PERCIVAL attached and reports what was blocked and what it cost —
+// a one-page version of the §5.7 experiment with visible output.
+//
+//	percival-browse                       # first page of the corpus
+//	percival-browse -url http://news1.example/page0.html -save out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"percival"
+	"percival/internal/imaging"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "page URL (empty = first corpus page)")
+		sites   = flag.Int("sites", 10, "synthetic corpus size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		res     = flag.Int("res", 32, "classifier input resolution")
+		samples = flag.Int("samples", 700, "training samples")
+		epochs  = flag.Int("epochs", 8, "training epochs")
+		save    = flag.String("save", "", "directory to write before/after PNGs")
+		shields = flag.Bool("shields", false, "enable Brave-style filter-list shields")
+	)
+	flag.Parse()
+
+	corpus := percival.NewCorpus(*seed, *sites)
+	target := *url
+	if target == "" {
+		target = corpus.Sites[0].PageURLs[0]
+	}
+
+	fmt.Fprintln(os.Stderr, "training classifier...")
+	clf, _, err := percival.QuickTrain(percival.QuickTrainOptions{
+		Res: *res, Samples: *samples, Epochs: *epochs, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	baseline, err := percival.AttachToBrowser(nil, percival.BrowserOptions{Corpus: corpus, Shields: *shields})
+	if err != nil {
+		fatal(err)
+	}
+	blocked, err := percival.AttachToBrowser(clf, percival.BrowserOptions{Corpus: corpus, Shields: *shields})
+	if err != nil {
+		fatal(err)
+	}
+
+	resBase, err := baseline.Render(target, 0)
+	if err != nil {
+		fatal(err)
+	}
+	resBlocked, err := blocked.Render(target, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("page: %s\n", target)
+	fmt.Printf("baseline : render %.1f ms (network %.1f + compute %.1f), %d images decoded\n",
+		resBase.RenderTimeMS, resBase.NetworkMS, resBase.ComputeMS, resBase.Stats.Decodes)
+	fmt.Printf("percival : render %.1f ms (network %.1f + compute %.1f), %d frames blocked\n",
+		resBlocked.RenderTimeMS, resBlocked.NetworkMS, resBlocked.ComputeMS, resBlocked.Stats.Blocked)
+	for _, ri := range resBlocked.Images {
+		status := "rendered"
+		switch {
+		case ri.BlockedByList:
+			status = "blocked by filter list"
+		case ri.BlockedByInspector:
+			status = "blocked by PERCIVAL"
+		}
+		truth := "content"
+		if ri.Spec.IsAd {
+			truth = "AD"
+		}
+		fmt.Printf("  %-8s %-22s %s\n", truth, status, ri.Spec.URL)
+	}
+
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			fatal(err)
+		}
+		for name, surface := range map[string]*imaging.Bitmap{
+			"before.png": resBase.Surface,
+			"after.png":  resBlocked.Surface,
+		} {
+			data, err := imaging.Encode(surface, imaging.PNG)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*save, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "percival-browse:", err)
+	os.Exit(1)
+}

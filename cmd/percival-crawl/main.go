@@ -1,0 +1,96 @@
+// Command percival-crawl runs the paper's data-collection systems over the
+// synthetic web: the traditional screenshot crawler (§4.4.1, with its
+// white-space race), the PERCIVAL pipeline crawler (§4.4.2), or the full
+// phased crawl-and-retrain loop.
+//
+//	percival-crawl -mode traditional -pages 50
+//	percival-crawl -mode pipeline -pages 50
+//	percival-crawl -mode retrain -phases 4 -pages 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"percival/internal/crawler"
+	"percival/internal/dataset"
+	"percival/internal/easylist"
+	"percival/internal/squeezenet"
+	"percival/internal/webgen"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "pipeline", "traditional | pipeline | retrain")
+		sites  = flag.Int("sites", 30, "synthetic corpus size")
+		pages  = flag.Int("pages", 50, "pages to visit (per phase for retrain)")
+		phases = flag.Int("phases", 4, "retrain phases")
+		res    = flag.Int("res", 32, "input resolution for retraining")
+		epochs = flag.Int("epochs", 8, "epochs per retrain phase")
+		seed   = flag.Int64("seed", 1, "random seed")
+		shot   = flag.Float64("screenshot-ms", 400, "traditional crawler screenshot deadline")
+	)
+	flag.Parse()
+
+	corpus := webgen.NewCorpus(*seed, *sites)
+	var pool []string
+	for _, s := range corpus.Sites {
+		pool = append(pool, s.PageURLs...)
+	}
+	if *pages < len(pool) {
+		pool = pool[:*pages]
+	}
+
+	switch *mode {
+	case "traditional":
+		list, errs := easylist.Parse(corpus.SyntheticEasyList())
+		if len(errs) > 0 {
+			fatal(fmt.Errorf("filter list: %v", errs[0]))
+		}
+		tc := &crawler.Traditional{Corpus: corpus, List: list, ScreenshotDelayMS: *shot}
+		ds, _, stats, err := tc.Crawl(pool)
+		if err != nil {
+			fatal(err)
+		}
+		removed := ds.Dedup(3)
+		ads, nonAds := ds.Counts()
+		fmt.Printf("visited %d pages, screenshotted %d elements (%d white-space from the load race)\n",
+			stats.PagesVisited, stats.Elements, stats.Whitespace)
+		fmt.Printf("after dedup (-%d): %d samples (%d ads / %d non-ads by EasyList labels)\n",
+			removed, ds.Len(), ads, nonAds)
+	case "pipeline":
+		pc := &crawler.Pipeline{Corpus: corpus, Labeler: crawler.GroundTruthLabeler{Corpus: corpus}}
+		ds, stats, err := pc.Crawl(pool, 0)
+		if err != nil {
+			fatal(err)
+		}
+		removed := ds.Dedup(3)
+		ads, nonAds := ds.Counts()
+		fmt.Printf("visited %d pages, captured %d decoded frames (white-space: %d)\n",
+			stats.PagesVisited, stats.Captured, stats.Whitespace)
+		fmt.Printf("after dedup (-%d): %d samples (%d ads / %d non-ads)\n",
+			removed, ds.Len(), ads, nonAds)
+	case "retrain":
+		arch := squeezenet.SmallConfig(*res)
+		_, reports, err := crawler.RetrainLoop(corpus, crawler.RetrainConfig{
+			Phases:   *phases,
+			PagesPer: *pages,
+			Train:    dataset.FastTraining(arch, *epochs),
+			Seed:     *seed,
+			Log:      os.Stdout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("completed %d phases; final validation accuracy %.3f\n",
+			len(reports), reports[len(reports)-1].ValAccuracy)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "percival-crawl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command percival-eval regenerates the paper's evaluation tables and
+// figures against the synthetic corpus. With no flags it runs every
+// experiment at the reduced default scale; -experiment selects one, and
+// -res/-scale push toward paper scale.
+//
+//	percival-eval                      # all experiments
+//	percival-eval -experiment fig7     # just the EasyList replication
+//	percival-eval -res 64 -scale 2     # bigger model, bigger datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"percival/internal/eval"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (empty = all); one of: "+strings.Join(eval.Experiments(), ", "))
+		res        = flag.Int("res", 32, "network input resolution (224 = paper scale)")
+		scale      = flag.Float64("scale", 1, "evaluation set size multiplier")
+		samples    = flag.Int("train-samples", 700, "synthetic training-set size")
+		epochs     = flag.Int("epochs", 8, "training epochs")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, line := range eval.SortedTitles() {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	h := eval.NewHarness(progress)
+	h.Res = *res
+	h.Scale = *scale
+	h.TrainSamples = *samples
+	h.Epochs = *epochs
+	h.Seed = *seed
+
+	if *experiment == "" {
+		if err := h.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "percival-eval:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rep, err := h.Run(*experiment)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "percival-eval:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== %s ===\n%s", eval.Title(*experiment), rep.Table())
+}

@@ -1,0 +1,53 @@
+// Facebook feed: the §5.3 scenario. Filter lists cannot block Facebook's
+// first-party sponsored content because the DOM signatures are obfuscated;
+// PERCIVAL blocks on appearance instead. This example browses simulated
+// sessions and prints the confusion matrix (paper: 92% accuracy, precision
+// 0.784, recall 0.7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"percival"
+	"percival/internal/metrics"
+	"percival/internal/webgen"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "training classifier...")
+	clf, _, err := percival.QuickTrain(percival.QuickTrainOptions{Samples: 700, Epochs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	corpus := percival.NewCorpus(35, 2)
+	var c metrics.Confusion
+	kindNames := map[webgen.PostKind]string{
+		webgen.OrganicPost:   "organic post",
+		webgen.SponsoredPost: "sponsored post",
+		webgen.BrandPost:     "brand-page post",
+		webgen.RightColumnAd: "right-column ad",
+	}
+	misses := map[string]int{}
+	for session := 1; session <= 20; session++ {
+		fs := corpus.GenerateFeedSession(session)
+		for _, spec := range fs.Page.Images {
+			kind := fs.Kinds[spec.URL]
+			blocked := clf.IsAd(spec.Render(0))
+			c.Add(blocked, spec.IsAd)
+			if blocked != spec.IsAd {
+				misses[kindNames[kind]]++
+			}
+		}
+	}
+	fmt.Printf("20 sessions: %s\n", c.String())
+	fmt.Println("\nerror sources (the paper's Fig. 11 pattern):")
+	for kind, n := range misses {
+		fmt.Printf("  %-16s %d misclassified\n", kind, n)
+	}
+	fmt.Println("\nnote: right-column ads are reliably caught; in-feed sponsored")
+	fmt.Println("posts that look organic drive the false negatives, and brand-page")
+	fmt.Println("posts with high ad intent drive the false positives — §5.3.")
+}

@@ -1,0 +1,289 @@
+// Package core implements PERCIVAL, the paper's primary contribution: a
+// deep-learning frame classifier embedded at the rendering pipeline's
+// decode/raster choke point. It wraps the compressed SqueezeNet fork with
+// the pre-processing the paper describes (§3.3: scale the decoded buffer to
+// the network input, build a tensor, forward pass, clear the buffer on an
+// ad verdict) and provides both deployment modes from §1:
+//
+//   - Synchronous: classification runs inside the raster task, adding its
+//     latency to the rendering critical path (the Fig. 14/15 treatment).
+//   - Asynchronous: the frame renders immediately while classification runs
+//     in the background; verdicts are memoized by content hash, so the ad is
+//     blocked on the next occurrence/visit (§6's "memorize ... and filter it
+//     out on consecutive page visitations").
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"percival/internal/imaging"
+	"percival/internal/nn"
+	"percival/internal/squeezenet"
+	"percival/internal/tensor"
+)
+
+// Mode selects how classification interacts with rendering.
+type Mode int
+
+// Deployment modes.
+const (
+	// Synchronous classifies in the raster task (blocks rendering).
+	Synchronous Mode = iota
+	// Asynchronous renders first, classifies in the background, and blocks
+	// memoized ads on later sightings.
+	Asynchronous
+)
+
+// Options configures a PERCIVAL instance.
+type Options struct {
+	// Threshold is the ad-probability above which a frame is blocked.
+	// 0.5 reproduces argmax; raising it trades recall for precision.
+	Threshold float64
+	// Mode selects synchronous or asynchronous deployment.
+	Mode Mode
+	// CacheSize bounds the memoization cache (entries). 0 uses a default.
+	CacheSize int
+	// MinFrameEdge skips classification of tiny images (spacer gifs,
+	// 1-px tracking pixels) that cannot be ads; 0 uses a default of 20.
+	MinFrameEdge int
+	// DisableCache turns memoization off, forcing a model run on every
+	// sighting. Used by the performance evaluation, which measures the
+	// paper's synchronous classify-every-image treatment.
+	DisableCache bool
+}
+
+// Percival is the classifier service. One instance serves all raster
+// workers: inference is stateless and goroutine-safe, matching the paper's
+// per-worker parallelism (§3.1).
+type Percival struct {
+	net  *nn.Sequential
+	cfg  squeezenet.Config
+	opts Options
+
+	cache *verdictCache
+
+	// async bookkeeping
+	pending sync.WaitGroup
+
+	// stats
+	classified  atomic.Int64
+	blocked     atomic.Int64
+	cacheHits   atomic.Int64
+	totalNanos  atomic.Int64
+	inPathNanos atomic.Int64
+}
+
+// New builds a PERCIVAL service around a trained network.
+func New(net *nn.Sequential, cfg squeezenet.Config, opts Options) (*Percival, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if opts.Threshold == 0 {
+		opts.Threshold = 0.5
+	}
+	if opts.Threshold < 0 || opts.Threshold >= 1 {
+		return nil, fmt.Errorf("core: threshold %v out of range (0,1)", opts.Threshold)
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 4096
+	}
+	if opts.MinFrameEdge == 0 {
+		opts.MinFrameEdge = 20
+	}
+	return &Percival{
+		net:   net,
+		cfg:   cfg,
+		opts:  opts,
+		cache: newVerdictCache(opts.CacheSize),
+	}, nil
+}
+
+// Classify runs the model on a decoded frame and returns the ad
+// probability. Safe for concurrent use.
+func (p *Percival) Classify(frame *imaging.Bitmap) float64 {
+	start := time.Now()
+	x := imaging.PrepareInput(frame, p.cfg.InputRes)
+	probs := nn.Predict(p.net, x)
+	p.classified.Add(1)
+	p.totalNanos.Add(time.Since(start).Nanoseconds())
+	return float64(probs.Data[1]) // class 1 = ad
+}
+
+// ClassifyBatch scores a batch of frames in one forward pass.
+func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
+	if len(frames) == 0 {
+		return nil
+	}
+	start := time.Now()
+	scaled := make([]*imaging.Bitmap, len(frames))
+	for i, f := range frames {
+		scaled[i] = imaging.ResizeBilinear(f, p.cfg.InputRes, p.cfg.InputRes)
+	}
+	x := imaging.BatchToTensor(scaled)
+	probs := nn.Predict(p.net, x)
+	out := make([]float64, len(frames))
+	k := probs.Shape[1]
+	for i := range frames {
+		out[i] = float64(probs.Data[i*k+1])
+	}
+	p.classified.Add(int64(len(frames)))
+	p.totalNanos.Add(time.Since(start).Nanoseconds())
+	return out
+}
+
+// IsAd applies the decision threshold to a frame.
+func (p *Percival) IsAd(frame *imaging.Bitmap) bool {
+	return p.Classify(frame) >= p.opts.Threshold
+}
+
+// InspectFrame implements raster.FrameInspector — PERCIVAL's attachment
+// point in the rendering pipeline. Behaviour depends on the mode:
+//
+// Synchronous: classify now; return the verdict (blocking the frame before
+// it is drawn).
+//
+// Asynchronous: consult the memoization cache; on a hit return the cached
+// verdict instantly, otherwise let the frame render and classify in the
+// background so the verdict is available for the next sighting.
+func (p *Percival) InspectFrame(src string, frame *imaging.Bitmap) bool {
+	start := time.Now()
+	defer func() { p.inPathNanos.Add(time.Since(start).Nanoseconds()) }()
+	if frame.W < p.opts.MinFrameEdge || frame.H < p.opts.MinFrameEdge {
+		return false
+	}
+	if p.opts.DisableCache {
+		verdict := p.IsAd(frame)
+		if verdict {
+			p.blocked.Add(1)
+		}
+		return verdict
+	}
+	key := imaging.ContentHash(frame)
+	if verdict, ok := p.cache.get(key); ok {
+		p.cacheHits.Add(1)
+		if verdict {
+			p.blocked.Add(1)
+		}
+		return verdict
+	}
+	switch p.opts.Mode {
+	case Synchronous:
+		verdict := p.IsAd(frame)
+		p.cache.put(key, verdict)
+		if verdict {
+			p.blocked.Add(1)
+		}
+		return verdict
+	default: // Asynchronous
+		snapshot := frame.Clone() // the raster task may clear/draw the buffer
+		p.pending.Add(1)
+		go func() {
+			defer p.pending.Done()
+			p.cache.put(key, p.IsAd(snapshot))
+		}()
+		return false
+	}
+}
+
+// Drain waits for in-flight asynchronous classifications; after Drain, all
+// verdicts are memoized. (In the browser this corresponds to idle time
+// between page visits.)
+func (p *Percival) Drain() { p.pending.Wait() }
+
+// Stats reports service counters.
+type Stats struct {
+	Classified int64
+	Blocked    int64
+	CacheHits  int64
+	// AvgClassifyMS is the mean model latency per classified frame.
+	AvgClassifyMS float64
+	// InPathMS is the cumulative time spent inside InspectFrame — the
+	// rendering critical path. In asynchronous mode this excludes background
+	// classification, which is the mode's whole point.
+	InPathMS float64
+}
+
+// Stats returns a snapshot of the service counters.
+func (p *Percival) Stats() Stats {
+	n := p.classified.Load()
+	s := Stats{
+		Classified: n,
+		Blocked:    p.blocked.Load(),
+		CacheHits:  p.cacheHits.Load(),
+		InPathMS:   float64(p.inPathNanos.Load()) / 1e6,
+	}
+	if n > 0 {
+		s.AvgClassifyMS = float64(p.totalNanos.Load()) / float64(n) / 1e6
+	}
+	return s
+}
+
+// ModelSizeBytes returns the float32 weight footprint of the wrapped model.
+func (p *Percival) ModelSizeBytes() int { return nn.SizeBytes(p.net) }
+
+// InputRes returns the network input resolution.
+func (p *Percival) InputRes() int { return p.cfg.InputRes }
+
+// Threshold returns the active decision threshold.
+func (p *Percival) Threshold() float64 { return p.opts.Threshold }
+
+// verdictCache is a bounded FIFO-evicting map from content hash to verdict.
+// (True LRU order is unnecessary: creatives repeat within short windows.)
+type verdictCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[[32]byte]bool
+	order [][32]byte
+	next  int
+}
+
+func newVerdictCache(max int) *verdictCache {
+	return &verdictCache{max: max, m: make(map[[32]byte]bool, max)}
+}
+
+func (c *verdictCache) get(k [32]byte) (bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+func (c *verdictCache) put(k [32]byte, v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[k]; exists {
+		c.m[k] = v
+		return
+	}
+	if len(c.m) >= c.max {
+		// evict the oldest inserted key (ring over insertion order)
+		old := c.order[c.next%len(c.order)]
+		delete(c.m, old)
+		c.order[c.next%len(c.order)] = k
+		c.next++
+	} else {
+		c.order = append(c.order, k)
+	}
+	c.m[k] = v
+}
+
+// Len reports the number of memoized verdicts (for tests).
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Gradient exposes dScore/dInput for salience mapping (Grad-CAM). It runs a
+// training-mode forward/backward pass, so it must not run concurrently with
+// other training-mode calls.
+func (p *Percival) Gradient(frame *imaging.Bitmap) *tensor.Tensor {
+	x := imaging.PrepareInput(frame, p.cfg.InputRes)
+	logits := p.net.Forward(x, true)
+	dl := tensor.New(logits.Shape...)
+	dl.Data[1] = 1 // d(ad logit)
+	return p.net.Backward(dl)
+}

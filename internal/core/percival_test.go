@@ -1,0 +1,271 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"image/color"
+	"sync"
+	"testing"
+
+	"percival/internal/dataset"
+	"percival/internal/imaging"
+	"percival/internal/squeezenet"
+	"percival/internal/synth"
+)
+
+// testService builds a PERCIVAL around an untrained (but initialized)
+// small network; verdict correctness is covered by integration tests, these
+// tests exercise the service mechanics.
+func testService(t *testing.T, opts Options) *Percival {
+	t.Helper()
+	cfg := squeezenet.SmallConfig(16)
+	net, err := squeezenet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squeezenet.PretrainedInit(net, 1)
+	p, err := New(net, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func adLike(t *testing.T) *imaging.Bitmap {
+	t.Helper()
+	g := synth.NewGenerator(7, synth.CrawlStyle())
+	return g.Ad()
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := squeezenet.SmallConfig(16)
+	net, _ := squeezenet.Build(cfg)
+	if _, err := New(nil, cfg, Options{}); err == nil {
+		t.Fatal("nil net must fail")
+	}
+	if _, err := New(net, cfg, Options{Threshold: 1.5}); err == nil {
+		t.Fatal("threshold out of range must fail")
+	}
+	p, err := New(net, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threshold() != 0.5 {
+		t.Fatalf("default threshold %v", p.Threshold())
+	}
+}
+
+func TestClassifyReturnsProbability(t *testing.T) {
+	p := testService(t, Options{})
+	prob := p.Classify(adLike(t))
+	if prob < 0 || prob > 1 {
+		t.Fatalf("probability %v", prob)
+	}
+	s := p.Stats()
+	if s.Classified != 1 || s.AvgClassifyMS <= 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClassifyBatchMatchesSingle(t *testing.T) {
+	p := testService(t, Options{})
+	g := synth.NewGenerator(3, synth.CrawlStyle())
+	frames := []*imaging.Bitmap{g.Ad(), g.NonAd(), g.Ad()}
+	batch := p.ClassifyBatch(frames)
+	for i, f := range frames {
+		single := p.Classify(f)
+		if diff := batch[i] - single; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("frame %d: batch %v single %v", i, batch[i], single)
+		}
+	}
+	if p.ClassifyBatch(nil) != nil {
+		t.Fatal("empty batch should be nil")
+	}
+}
+
+func TestSynchronousInspectBlocksAndMemoizes(t *testing.T) {
+	p := testService(t, Options{Mode: Synchronous})
+	frame := adLike(t)
+	verdict1 := p.InspectFrame("http://x/a.png", frame.Clone())
+	hits0 := p.Stats().CacheHits
+	verdict2 := p.InspectFrame("http://y/b.png", frame.Clone()) // same pixels, new URL
+	if verdict1 != verdict2 {
+		t.Fatal("same content must get same verdict")
+	}
+	if p.Stats().CacheHits != hits0+1 {
+		t.Fatal("second sighting should hit the content-hash cache")
+	}
+	if p.Stats().Classified != 1 {
+		t.Fatalf("classified %d, want 1 (memoized)", p.Stats().Classified)
+	}
+}
+
+func TestAsynchronousModeRendersFirstBlocksLater(t *testing.T) {
+	p := testService(t, Options{Mode: Asynchronous})
+	frame := adLike(t)
+	// first sighting always renders (returns false) in async mode
+	if p.InspectFrame("http://x/a.png", frame.Clone()) {
+		t.Fatal("async first sighting must not block")
+	}
+	p.Drain()
+	// second sighting uses the memoized verdict, whatever it is
+	verdict := p.InspectFrame("http://x/a.png", frame.Clone())
+	want := p.Classify(frame) >= p.Threshold()
+	if verdict != want {
+		t.Fatalf("memoized verdict %v, classifier says %v", verdict, want)
+	}
+	if p.Stats().CacheHits != 1 {
+		t.Fatalf("cache hits %d", p.Stats().CacheHits)
+	}
+}
+
+func TestTinyFramesSkipped(t *testing.T) {
+	p := testService(t, Options{Mode: Synchronous})
+	pixel := imaging.NewBitmap(1, 1)
+	if p.InspectFrame("http://t/pixel.gif", pixel) {
+		t.Fatal("tracking pixel blocked")
+	}
+	if p.Stats().Classified != 0 {
+		t.Fatal("tiny frame should not be classified")
+	}
+}
+
+func TestInspectFrameConcurrentSafety(t *testing.T) {
+	p := testService(t, Options{Mode: Synchronous})
+	g := synth.NewGenerator(5, synth.CrawlStyle())
+	frames := make([]*imaging.Bitmap, 8)
+	for i := range frames {
+		frames[i], _ = g.Sample()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				p.InspectFrame("src", frames[(w+i)%len(frames)].Clone())
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Concurrent first sightings of the same content may classify more than
+	// once (the raster layer, not core, provides per-resource singleflight),
+	// but once the cache is warm no further model work happens.
+	warm := p.Stats().Classified
+	if warm > 80 {
+		t.Fatalf("classified %d of 80 inspections — memoization ineffective", warm)
+	}
+	for _, f := range frames {
+		p.InspectFrame("src", f.Clone())
+	}
+	if p.Stats().Classified != warm {
+		t.Fatal("warm cache should serve all repeat sightings")
+	}
+}
+
+func TestVerdictCacheEviction(t *testing.T) {
+	c := newVerdictCache(3)
+	key := func(i int) [32]byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		return sha256.Sum256(b[:])
+	}
+	for i := 0; i < 5; i++ {
+		c.put(key(i), i%2 == 0)
+	}
+	if c.len() != 3 {
+		t.Fatalf("cache len %d, want 3", c.len())
+	}
+	// oldest (0, 1) evicted; 2, 3, 4 remain
+	if _, ok := c.get(key(0)); ok {
+		t.Fatal("key 0 should be evicted")
+	}
+	if v, ok := c.get(key(4)); !ok || !v { // 4 was stored with verdict true
+		t.Fatalf("key 4: %v %v", v, ok)
+	}
+	// overwrite existing key keeps size
+	c.put(key(4), false)
+	if v, _ := c.get(key(4)); v {
+		t.Fatal("overwrite failed")
+	}
+	if c.len() != 3 {
+		t.Fatal("overwrite changed size")
+	}
+}
+
+func TestModelSizeUnder2MB(t *testing.T) {
+	cfg := squeezenet.PaperConfig()
+	net, err := squeezenet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelSizeBytes() >= 2<<20 {
+		t.Fatalf("model %d bytes, paper requires <2MB", p.ModelSizeBytes())
+	}
+	if p.InputRes() != 224 {
+		t.Fatalf("input res %d", p.InputRes())
+	}
+}
+
+func TestGradientShapeMatchesInput(t *testing.T) {
+	p := testService(t, Options{})
+	grad := p.Gradient(adLike(t))
+	if grad.Shape[1] != 4 || grad.Shape[2] != 16 || grad.Shape[3] != 16 {
+		t.Fatalf("gradient shape %v", grad.Shape)
+	}
+	nonZero := false
+	for _, v := range grad.Data {
+		if v != 0 {
+			nonZero = true
+			break
+		}
+	}
+	if !nonZero {
+		t.Fatal("gradient all zero")
+	}
+}
+
+// TestTrainedServiceSeparatesClasses is the package's end-to-end check: a
+// quickly-trained model must block generated ads and pass generated content
+// well above chance.
+func TestTrainedServiceSeparatesClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	arch := squeezenet.SmallConfig(32)
+	train := dataset.Generate(42, synth.CrawlStyle(), 360)
+	cfg := dataset.FastTraining(arch, 5)
+	net, err := dataset.Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, arch, Options{Mode: Synchronous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synth.NewGenerator(77, synth.CrawlStyle())
+	correct, total := 0, 120
+	for i := 0; i < total; i++ {
+		img, label := g.Sample()
+		if p.IsAd(img) == (label == dataset.Ad) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Fatalf("trained service accuracy %v < 0.8", acc)
+	}
+}
+
+func TestBlockedFrameClearedByRaster(t *testing.T) {
+	// document the §3.3 contract: core flags, raster clears
+	b := imaging.NewBitmap(4, 4)
+	b.Fill(color.RGBA{1, 2, 3, 255})
+	b.Clear()
+	if !b.IsCleared() {
+		t.Fatal("clear failed")
+	}
+}

@@ -1,0 +1,274 @@
+// Package crawler implements the paper's two data-acquisition systems:
+//
+//   - The traditional crawler (§4.4.1): drive a browser over top-ranked
+//     sites, use EasyList to identify ad elements, and screenshot each
+//     element's box. It inherits the methodology's defect — dynamically
+//     loading iframes that miss the screenshot deadline yield white-space
+//     crops — which is exactly why the paper built the second crawler.
+//
+//   - The PERCIVAL pipeline crawler (§4.4.2): capture every decoded image
+//     frame directly from the rendering pipeline, eliminating the race
+//     between content load and screenshot. Frames are labelled either by
+//     ground truth or by the current model (the paper's bootstrap), and the
+//     eight-phase crawl/retrain loop is provided as a first-class operation.
+package crawler
+
+import (
+	"fmt"
+	"image/color"
+	"sync"
+
+	"percival/internal/browser"
+	"percival/internal/dataset"
+	"percival/internal/dom"
+	"percival/internal/easylist"
+	"percival/internal/imaging"
+	"percival/internal/layout"
+	"percival/internal/webgen"
+)
+
+// Traditional is the Selenium-style screenshot crawler.
+type Traditional struct {
+	Corpus *webgen.Corpus
+	List   *easylist.List
+	// ScreenshotDelayMS is how long after the load event the screenshot is
+	// taken. Image chains slower than this yield white-space samples.
+	ScreenshotDelayMS float64
+}
+
+// TraditionalStats summarizes one traditional crawl.
+type TraditionalStats struct {
+	PagesVisited int
+	Elements     int // elements screenshotted
+	Whitespace   int // crops that raced the load and captured nothing
+	AdLabelled   int // samples EasyList labelled as ads
+}
+
+// Crawl visits the given pages and returns the labelled screenshot dataset.
+// Labels come from EasyList: an element whose request matches a blocking
+// rule (or whose container matches a cosmetic rule) is labelled ad. The
+// second return value carries generation-time ground truth per sample, the
+// information the paper's manual spot-checking pass recovered by hand.
+func (tc *Traditional) Crawl(pages []string) (*dataset.Dataset, []int, TraditionalStats, error) {
+	if tc.List == nil {
+		return nil, nil, TraditionalStats{}, fmt.Errorf("crawler: traditional crawl needs a filter list")
+	}
+	b, err := browser.New(browser.Config{Profile: browser.Chromium(), Corpus: tc.Corpus})
+	if err != nil {
+		return nil, nil, TraditionalStats{}, err
+	}
+	ds := &dataset.Dataset{}
+	var truth []int
+	var stats TraditionalStats
+	for _, url := range pages {
+		res, err := b.Render(url, 0)
+		if err != nil {
+			return nil, nil, stats, fmt.Errorf("crawler: render %s: %w", url, err)
+		}
+		stats.PagesVisited++
+		page, _ := tc.Corpus.Page(url)
+		doc := dom.Parse(page.HTML)
+		sizer := tc.sizer(res)
+		box := layout.Layout(doc, layout.DefaultViewportW, sizer)
+
+		// walk image/iframe elements, crop their boxes from the surface
+		for _, node := range append(doc.ByTag("img"), doc.ByTag("iframe")...) {
+			src := node.Attrs["src"]
+			spec, chain, ok := tc.resolveSpec(src)
+			if !ok {
+				continue
+			}
+			lb := layout.FindBox(box, node)
+			if lb == nil || lb.W < 8 || lb.H < 8 {
+				continue
+			}
+			stats.Elements++
+			var crop *imaging.Bitmap
+			if chain > tc.ScreenshotDelayMS {
+				// the race: the iframe/image had not rendered at screenshot
+				// time — the crop is white-space (§4.4.2 motivation)
+				crop = imaging.NewBitmap(lb.W, lb.H)
+				crop.Fill(white())
+				stats.Whitespace++
+			} else {
+				crop = res.Surface.SubImage(lb.X, lb.Y, lb.X+lb.W, lb.Y+lb.H)
+			}
+			label := dataset.NonAd
+			if tc.matchesList(spec, node, page) {
+				label = dataset.Ad
+				stats.AdLabelled++
+			}
+			ds.Add(crop, label)
+			gt := dataset.NonAd
+			if spec.IsAd {
+				gt = dataset.Ad
+			}
+			truth = append(truth, gt)
+		}
+	}
+	return ds, truth, stats, nil
+}
+
+// resolveSpec maps an element src (image URL or frame URL) to its creative
+// spec and total chain delay.
+func (tc *Traditional) resolveSpec(src string) (*webgen.ImageSpec, float64, bool) {
+	if spec, ok := tc.Corpus.Image(src); ok {
+		return spec, spec.LoadDelayMS, true
+	}
+	if page, ok := tc.Corpus.Page(src); ok && len(page.Images) == 1 {
+		spec := page.Images[0]
+		return spec, spec.LoadDelayMS, true
+	}
+	return nil, 0, false
+}
+
+// matchesList labels an element using EasyList the way §4.4.1 does: network
+// rules against the resource URL, cosmetic rules against the container.
+func (tc *Traditional) matchesList(spec *webgen.ImageSpec, node *dom.Node, page *webgen.Page) bool {
+	req := easylist.Request{
+		URL:        spec.URL,
+		Domain:     host(spec.URL),
+		PageDomain: page.Site.Domain,
+		Type:       easylist.TypeImage,
+	}
+	if tc.List.ShouldBlock(req) {
+		return true
+	}
+	if node.Parent != nil {
+		for _, sel := range tc.List.HideSelectors(page.Site.Domain) {
+			if node.Parent.MatchesSelector(sel) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (tc *Traditional) sizer(res *browser.RenderResult) layout.Sizer {
+	dims := map[string][2]int{}
+	for _, ri := range res.Images {
+		bm := ri.Spec.Render(0)
+		dims[ri.Spec.URL] = [2]int{bm.W, bm.H}
+	}
+	return func(src string) (int, int, bool) {
+		if d, ok := dims[src]; ok {
+			return d[0], d[1], true
+		}
+		return 0, 0, false
+	}
+}
+
+// Labeler assigns a label to a captured frame.
+type Labeler interface {
+	Label(src string, frame *imaging.Bitmap) int
+}
+
+// GroundTruthLabeler labels frames from the corpus's generation-time truth.
+type GroundTruthLabeler struct{ Corpus *webgen.Corpus }
+
+// Label implements Labeler.
+func (g GroundTruthLabeler) Label(src string, _ *imaging.Bitmap) int {
+	if spec, ok := g.Corpus.Image(src); ok && spec.IsAd {
+		return dataset.Ad
+	}
+	return dataset.NonAd
+}
+
+// ModelLabeler labels frames with a classifier — the paper's §4.4.2
+// bootstrap, where the current network buckets each decoded frame.
+type ModelLabeler struct {
+	Classify func(*imaging.Bitmap) bool
+}
+
+// Label implements Labeler.
+func (m ModelLabeler) Label(_ string, frame *imaging.Bitmap) int {
+	if m.Classify(frame) {
+		return dataset.Ad
+	}
+	return dataset.NonAd
+}
+
+// collector is a raster.FrameInspector that captures every decoded frame
+// without blocking anything — PERCIVAL's browser instrumentation running in
+// crawl mode (Fig. 5: "every decoded image frame is passed through PERCIVAL
+// and PERCIVAL downloads the image frame into the appropriate bucket").
+type collector struct {
+	mu     sync.Mutex
+	frames []capturedFrame
+}
+
+type capturedFrame struct {
+	src   string
+	frame *imaging.Bitmap
+}
+
+func (c *collector) InspectFrame(src string, frame *imaging.Bitmap) bool {
+	c.mu.Lock()
+	c.frames = append(c.frames, capturedFrame{src, frame.Clone()})
+	c.mu.Unlock()
+	return false
+}
+
+// Pipeline is the PERCIVAL in-pipeline crawler.
+type Pipeline struct {
+	Corpus  *webgen.Corpus
+	Labeler Labeler
+}
+
+// PipelineStats summarizes one pipeline crawl.
+type PipelineStats struct {
+	PagesVisited int
+	Captured     int
+	Whitespace   int // always 0: the pipeline has no screenshot race
+}
+
+// Crawl renders the pages with frame capture enabled and returns the
+// labelled dataset. epoch propagates to rotating creatives so repeated
+// phases see fresh inventory.
+func (pc *Pipeline) Crawl(pages []string, epoch int) (*dataset.Dataset, PipelineStats, error) {
+	if pc.Labeler == nil {
+		return nil, PipelineStats{}, fmt.Errorf("crawler: pipeline crawl needs a labeler")
+	}
+	col := &collector{}
+	b, err := browser.New(browser.Config{Profile: browser.Chromium(), Corpus: pc.Corpus, Inspector: col})
+	if err != nil {
+		return nil, PipelineStats{}, err
+	}
+	var stats PipelineStats
+	for _, url := range pages {
+		if _, err := b.Render(url, epoch); err != nil {
+			return nil, stats, fmt.Errorf("crawler: render %s: %w", url, err)
+		}
+		stats.PagesVisited++
+	}
+	ds := &dataset.Dataset{}
+	for _, cf := range col.frames {
+		ds.Add(cf.frame, pc.Labeler.Label(cf.src, cf.frame))
+	}
+	stats.Captured = ds.Len()
+	return ds, stats, nil
+}
+
+func host(url string) string {
+	rest := url
+	if i := indexOf(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' || rest[i] == '?' {
+			return rest[:i]
+		}
+	}
+	return rest
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func white() color.RGBA { return color.RGBA{255, 255, 255, 255} }

@@ -1,0 +1,125 @@
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"percival/internal/dataset"
+	"percival/internal/nn"
+	"percival/internal/webgen"
+)
+
+// PhaseReport summarizes one crawl/retrain phase (§4.4.2 ran eight of them,
+// one every 15 days, retraining after each on all data so far).
+type PhaseReport struct {
+	Phase       int
+	Crawled     int
+	Deduped     int // samples removed as (near-)duplicates
+	KeptUseful  int // crawled - deduped ("15-20% of the collected results")
+	CumulativeN int // training-set size after merging
+	ValAccuracy float64
+}
+
+// RetrainConfig drives the multi-phase loop.
+type RetrainConfig struct {
+	Phases      int
+	PagesPer    int // pages visited per phase
+	Train       dataset.TrainConfig
+	DedupRadius int
+	Seed        int64
+	Log         io.Writer
+}
+
+// RetrainLoop runs the paper's phased crawl-and-retrain process against the
+// corpus: each phase crawls with the pipeline crawler (rotating creatives
+// advance with the phase number), removes duplicates against everything seen
+// so far, merges, rebalances, and retrains from scratch on the cumulative
+// dataset. Returns the final model and per-phase reports.
+func RetrainLoop(corpus *webgen.Corpus, cfg RetrainConfig) (*nn.Sequential, []PhaseReport, error) {
+	if cfg.Phases < 1 {
+		return nil, nil, fmt.Errorf("crawler: need at least one phase")
+	}
+	if cfg.DedupRadius == 0 {
+		cfg.DedupRadius = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pc := &Pipeline{Corpus: corpus, Labeler: GroundTruthLabeler{Corpus: corpus}}
+
+	// page pool: all pages of all sites
+	var pool []string
+	for _, s := range corpus.Sites {
+		pool = append(pool, s.PageURLs...)
+	}
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("crawler: corpus has no pages")
+	}
+
+	cumulative := &dataset.Dataset{}
+	var reports []PhaseReport
+	var net *nn.Sequential
+	for phase := 0; phase < cfg.Phases; phase++ {
+		pages := samplePages(rng, pool, cfg.PagesPer)
+		crawled, _, err := pc.Crawl(pages, phase)
+		if err != nil {
+			return nil, reports, err
+		}
+		crawledN := crawled.Len()
+		// dedup within the phase and against everything already kept
+		merged := &dataset.Dataset{}
+		merged.Merge(cumulative)
+		merged.Merge(crawled)
+		removed := merged.Dedup(cfg.DedupRadius)
+		kept := merged.Len() - cumulative.Len()
+		if kept < 0 {
+			kept = 0
+		}
+		cumulative = merged
+		balanced := &dataset.Dataset{}
+		balanced.Merge(cumulative)
+		balanced.Balance(rng)
+
+		rep := PhaseReport{
+			Phase:       phase + 1,
+			Crawled:     crawledN,
+			Deduped:     removed,
+			KeptUseful:  kept,
+			CumulativeN: balanced.Len(),
+		}
+
+		if balanced.Len() >= cfg.Train.BatchSize*2 {
+			train, val := balanced.Split(rng, 0.85)
+			net, err = dataset.Train(cfg.Train, train)
+			if err != nil {
+				return nil, reports, err
+			}
+			if val.Len() > 0 {
+				c := dataset.Evaluate(net, cfg.Train.Arch.InputRes, 0.5, val)
+				rep.ValAccuracy = c.Accuracy()
+			}
+		}
+		reports = append(reports, rep)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "phase %d: crawled %d, dup-removed %d, kept %d, cumulative %d, val acc %.3f\n",
+				rep.Phase, rep.Crawled, rep.Deduped, rep.KeptUseful, rep.CumulativeN, rep.ValAccuracy)
+		}
+	}
+	if net == nil {
+		return nil, reports, fmt.Errorf("crawler: never accumulated enough data to train")
+	}
+	return net, reports, nil
+}
+
+func samplePages(rng *rand.Rand, pool []string, n int) []string {
+	if n >= len(pool) {
+		out := append([]string(nil), pool...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	perm := rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, p := range perm {
+		out[i] = pool[p]
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"image/color"
+	"math/rand"
+	"testing"
+
+	"percival/internal/imaging"
+	"percival/internal/squeezenet"
+	"percival/internal/synth"
+)
+
+func rgba(r, g, b uint8) color.RGBA { return color.RGBA{r, g, b, 255} }
+
+func smallArch() squeezenet.Config { return squeezenet.SmallConfig(16) }
+
+func TestGenerateAndCounts(t *testing.T) {
+	d := Generate(1, synth.CrawlStyle(), 100)
+	if d.Len() != 100 {
+		t.Fatalf("len %d", d.Len())
+	}
+	ads, nonAds := d.Counts()
+	if ads+nonAds != 100 {
+		t.Fatalf("counts %d+%d", ads, nonAds)
+	}
+	if ads < 30 || ads > 70 {
+		t.Fatalf("unbalanced sample: %d ads", ads)
+	}
+}
+
+func TestGenerateUnbalanced(t *testing.T) {
+	d := GenerateUnbalanced(2, synth.FacebookStyle(), 20, 80)
+	ads, nonAds := d.Counts()
+	if ads != 20 || nonAds != 80 {
+		t.Fatalf("counts %d/%d", ads, nonAds)
+	}
+}
+
+func TestBalanceCapsTheMajorityClass(t *testing.T) {
+	d := GenerateUnbalanced(3, synth.CrawlStyle(), 10, 50)
+	d.Balance(rand.New(rand.NewSource(1)))
+	ads, nonAds := d.Counts()
+	if ads != 10 || nonAds != 10 {
+		t.Fatalf("after balance: %d/%d", ads, nonAds)
+	}
+}
+
+func TestDedupRemovesExactDuplicates(t *testing.T) {
+	d := &Dataset{}
+	img := imaging.NewBitmap(32, 32)
+	img.FillRect(4, 4, 20, 20, rgba(200, 30, 30))
+	img.LinearGradientV(0, 20, 32, 32, rgba(10, 10, 10), rgba(240, 240, 240))
+	for i := 0; i < 5; i++ {
+		d.Add(img.Clone(), Ad)
+	}
+	distinct := imaging.NewBitmap(32, 32)
+	distinct.LinearGradientV(0, 0, 32, 32, rgba(255, 255, 255), rgba(0, 0, 0))
+	d.Add(distinct, NonAd)
+	removed := d.Dedup(4)
+	if removed != 4 {
+		t.Fatalf("removed %d, want 4", removed)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("kept %d, want 2", d.Len())
+	}
+}
+
+func TestDedupKeepsDistinctSamples(t *testing.T) {
+	d := Generate(4, synth.CrawlStyle(), 60)
+	before := d.Len()
+	d.Dedup(2)
+	// synthetic samples are diverse; dedup should keep the majority
+	if d.Len() < before/2 {
+		t.Fatalf("dedup too aggressive: %d -> %d", before, d.Len())
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	d := Generate(5, synth.CrawlStyle(), 50)
+	train, val := d.Split(rand.New(rand.NewSource(2)), 0.8)
+	if train.Len() != 40 || val.Len() != 10 {
+		t.Fatalf("split %d/%d", train.Len(), val.Len())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Generate(6, synth.CrawlStyle(), 10)
+	b := Generate(7, synth.CrawlStyle(), 15)
+	a.Merge(b)
+	if a.Len() != 25 {
+		t.Fatalf("merged len %d", a.Len())
+	}
+}
+
+func TestBatchShapes(t *testing.T) {
+	d := Generate(8, synth.CrawlStyle(), 10)
+	x, labels := d.Batch(2, 6, 32)
+	if x.Shape[0] != 4 || x.Shape[1] != 4 || x.Shape[2] != 32 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if len(labels) != 4 {
+		t.Fatalf("labels %d", len(labels))
+	}
+}
+
+func TestBatchPanicsOnBadRange(t *testing.T) {
+	d := Generate(9, synth.CrawlStyle(), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Batch(2, 10, 32)
+}
+
+func TestTrainRejectsTinyDataset(t *testing.T) {
+	cfg := FastTraining(smallArch(), 1)
+	d := Generate(10, synth.CrawlStyle(), 5)
+	if _, err := Train(cfg, d); err == nil {
+		t.Fatal("expected error for dataset smaller than batch")
+	}
+}

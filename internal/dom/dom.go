@@ -1,0 +1,305 @@
+// Package dom implements the document-object-model substrate of the
+// rendering pipeline: a tolerant HTML tokenizer and parser producing an
+// element tree, plus the simple selector matching needed by EasyList's
+// element-hiding rules and by DOM-based crawlers. The paper's architecture
+// (§2.1) has the renderer process build exactly this structure before
+// layout, and §2.2's attacks (DOM obfuscation, resource exhaustion) are
+// expressed against it.
+package dom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one DOM node: an element, or a text node (Tag == "" and Text set).
+type Node struct {
+	Tag      string
+	Attrs    map[string]string
+	Text     string
+	Children []*Node
+	Parent   *Node
+}
+
+// voidTags never have closing tags in HTML.
+var voidTags = map[string]bool{
+	"img": true, "br": true, "hr": true, "meta": true, "link": true, "input": true,
+}
+
+// rawTextTags contain unparsed text until their close tag.
+var rawTextTags = map[string]bool{"script": true, "style": true}
+
+// Parse builds a DOM tree from HTML. The parser is tolerant in the way
+// browsers are: unknown tags nest normally, unclosed tags are closed at
+// their ancestor's boundary, and malformed attribute syntax is skipped. The
+// returned root is a synthetic node with tag "#document".
+func Parse(html string) *Node {
+	root := &Node{Tag: "#document", Attrs: map[string]string{}}
+	stack := []*Node{root}
+	i := 0
+	for i < len(html) {
+		if html[i] != '<' {
+			j := strings.IndexByte(html[i:], '<')
+			if j < 0 {
+				j = len(html) - i
+			}
+			text := strings.TrimSpace(html[i : i+j])
+			if text != "" {
+				top := stack[len(stack)-1]
+				top.Children = append(top.Children, &Node{Text: text, Parent: top})
+			}
+			i += j
+			continue
+		}
+		// comment
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i:], "-->")
+			if end < 0 {
+				break
+			}
+			i += end + 3
+			continue
+		}
+		// doctype or other declaration
+		if strings.HasPrefix(html[i:], "<!") {
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				break
+			}
+			i += end + 1
+			continue
+		}
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			break
+		}
+		tagBody := html[i+1 : i+end]
+		i += end + 1
+		if strings.HasPrefix(tagBody, "/") {
+			// closing tag: pop to the matching element if present
+			name := strings.ToLower(strings.TrimSpace(tagBody[1:]))
+			for d := len(stack) - 1; d > 0; d-- {
+				if stack[d].Tag == name {
+					stack = stack[:d]
+					break
+				}
+			}
+			continue
+		}
+		selfClose := strings.HasSuffix(tagBody, "/")
+		if selfClose {
+			tagBody = tagBody[:len(tagBody)-1]
+		}
+		name, attrs := parseTag(tagBody)
+		if name == "" {
+			continue
+		}
+		node := &Node{Tag: name, Attrs: attrs}
+		top := stack[len(stack)-1]
+		node.Parent = top
+		top.Children = append(top.Children, node)
+		if rawTextTags[name] && !selfClose {
+			// consume raw text until the close tag
+			closeTag := "</" + name
+			idx := strings.Index(strings.ToLower(html[i:]), closeTag)
+			if idx < 0 {
+				break
+			}
+			raw := html[i : i+idx]
+			if t := strings.TrimSpace(raw); t != "" {
+				node.Children = append(node.Children, &Node{Text: t, Parent: node})
+			}
+			skip := strings.IndexByte(html[i+idx:], '>')
+			if skip < 0 {
+				break
+			}
+			i += idx + skip + 1
+			continue
+		}
+		if !selfClose && !voidTags[name] {
+			stack = append(stack, node)
+		}
+	}
+	return root
+}
+
+// parseTag splits "div class=x id='y'" into name and attributes.
+func parseTag(body string) (string, map[string]string) {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return "", nil
+	}
+	nameEnd := strings.IndexAny(body, " \t\n")
+	name := body
+	rest := ""
+	if nameEnd >= 0 {
+		name = body[:nameEnd]
+		rest = body[nameEnd:]
+	}
+	name = strings.ToLower(name)
+	attrs := map[string]string{}
+	i := 0
+	for i < len(rest) {
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == '\t' || rest[i] == '\n') {
+			i++
+		}
+		if i >= len(rest) {
+			break
+		}
+		keyStart := i
+		for i < len(rest) && rest[i] != '=' && rest[i] != ' ' && rest[i] != '\t' && rest[i] != '\n' {
+			i++
+		}
+		key := strings.ToLower(rest[keyStart:i])
+		if key == "" {
+			i++
+			continue
+		}
+		if i >= len(rest) || rest[i] != '=' {
+			attrs[key] = "" // boolean attribute
+			continue
+		}
+		i++ // skip '='
+		if i < len(rest) && (rest[i] == '"' || rest[i] == '\'') {
+			quote := rest[i]
+			i++
+			valStart := i
+			for i < len(rest) && rest[i] != quote {
+				i++
+			}
+			attrs[key] = rest[valStart:i]
+			i++ // skip quote
+		} else {
+			valStart := i
+			for i < len(rest) && rest[i] != ' ' && rest[i] != '\t' && rest[i] != '\n' {
+				i++
+			}
+			attrs[key] = rest[valStart:i]
+		}
+	}
+	return name, attrs
+}
+
+// ID returns the node's id attribute.
+func (n *Node) ID() string { return n.Attrs["id"] }
+
+// Classes returns the node's class list.
+func (n *Node) Classes() []string {
+	c := n.Attrs["class"]
+	if c == "" {
+		return nil
+	}
+	return strings.Fields(c)
+}
+
+// HasClass reports whether the node carries the class.
+func (n *Node) HasClass(class string) bool {
+	for _, c := range n.Classes() {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk visits every element node in document order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n.Tag != "" {
+		fn(n)
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// ByTag returns all descendant elements with the given tag.
+func (n *Node) ByTag(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(e *Node) {
+		if e.Tag == tag {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// ByID returns the first element with the given id, or nil.
+func (n *Node) ByID(id string) *Node {
+	var found *Node
+	n.Walk(func(e *Node) {
+		if found == nil && e.ID() == id {
+			found = e
+		}
+	})
+	return found
+}
+
+// MatchesSelector tests the node against a simple selector: "tag", "#id",
+// ".class", "tag.class", or "tag#id". This covers the selector forms that
+// appear in EasyList element-hiding rules for our corpus.
+func (n *Node) MatchesSelector(sel string) bool {
+	sel = strings.TrimSpace(sel)
+	if sel == "" || n.Tag == "" || n.Tag == "#document" {
+		return false
+	}
+	tag, rest := splitSelector(sel)
+	if tag != "" && tag != "*" && n.Tag != tag {
+		return false
+	}
+	switch {
+	case rest == "":
+		return tag != ""
+	case rest[0] == '#':
+		return n.ID() == rest[1:]
+	case rest[0] == '.':
+		return n.HasClass(rest[1:])
+	}
+	return false
+}
+
+func splitSelector(sel string) (tag, rest string) {
+	for i := 0; i < len(sel); i++ {
+		if sel[i] == '#' || sel[i] == '.' {
+			return sel[:i], sel[i:]
+		}
+	}
+	return sel, ""
+}
+
+// QuerySelectorAll returns all descendants matching the simple selector.
+func (n *Node) QuerySelectorAll(sel string) []*Node {
+	var out []*Node
+	n.Walk(func(e *Node) {
+		if e.MatchesSelector(sel) {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// Render re-serializes the tree (diagnostics and tests).
+func (n *Node) Render() string {
+	var sb strings.Builder
+	n.render(&sb)
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder) {
+	if n.Tag == "" {
+		sb.WriteString(n.Text)
+		return
+	}
+	if n.Tag != "#document" {
+		sb.WriteString("<" + n.Tag)
+		for k, v := range n.Attrs {
+			fmt.Fprintf(sb, " %s=%q", k, v)
+		}
+		sb.WriteString(">")
+	}
+	for _, c := range n.Children {
+		c.render(sb)
+	}
+	if n.Tag != "#document" && !voidTags[n.Tag] {
+		sb.WriteString("</" + n.Tag + ">")
+	}
+}

@@ -1,0 +1,66 @@
+package dom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomInput feeds the parser adversarial byte soup —
+// the web is full of malformed markup and §2.2's obfuscation attacks depend
+// on parsers misbehaving.
+func TestParseNeverPanicsOnRandomInput(t *testing.T) {
+	f := func(s string) bool {
+		root := Parse(s)
+		return root != nil && root.Tag == "#document"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnMarkupSoup biases the generator toward tag-like
+// fragments, which random strings rarely produce.
+func TestParseNeverPanicsOnMarkupSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pieces := []string{
+		"<div", ">", "</div>", "<img src=", `"x.png"`, "<", "'", "=",
+		"<script>", "</script>", "<!--", "-->", "<!DOCTYPE", "class=",
+		"<iframe", "/>", "text", " ", "\n", "<p", "</", "##", "\"",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		root := Parse(sb.String())
+		if root == nil {
+			t.Fatalf("nil root for %q", sb.String())
+		}
+		// reparse of render must also not panic
+		Parse(root.Render())
+	}
+}
+
+// TestReparseStable: parse → render → parse must preserve element counts.
+func TestReparseStable(t *testing.T) {
+	htmls := []string{
+		`<div><p>a</p><img src="x"></div>`,
+		`<div class="a b"><iframe src="f"></iframe></div>`,
+		`<section><article><h1>t</h1><span>s</span></article></section>`,
+	}
+	count := func(n *Node) int {
+		c := 0
+		n.Walk(func(*Node) { c++ })
+		return c
+	}
+	for _, h := range htmls {
+		a := Parse(h)
+		b := Parse(a.Render())
+		if count(a) != count(b) {
+			t.Fatalf("reparse changed element count for %q: %d vs %d", h, count(a), count(b))
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasicTree(t *testing.T) {
+	root := Parse(`<html><body><div id="main" class="wrap page"><p>Hello</p><img src="a.png"></div></body></html>`)
+	div := root.ByID("main")
+	if div == nil {
+		t.Fatal("div#main not found")
+	}
+	if !div.HasClass("wrap") || !div.HasClass("page") {
+		t.Fatalf("classes = %v", div.Classes())
+	}
+	imgs := root.ByTag("img")
+	if len(imgs) != 1 || imgs[0].Attrs["src"] != "a.png" {
+		t.Fatalf("imgs = %+v", imgs)
+	}
+	ps := root.ByTag("p")
+	if len(ps) != 1 || len(ps[0].Children) != 1 || ps[0].Children[0].Text != "Hello" {
+		t.Fatal("text node missing")
+	}
+}
+
+func TestParseAttributesVariants(t *testing.T) {
+	root := Parse(`<div data-x=raw id='single' class="double" hidden></div>`)
+	d := root.ByTag("div")[0]
+	if d.Attrs["data-x"] != "raw" || d.Attrs["id"] != "single" || d.Attrs["class"] != "double" {
+		t.Fatalf("attrs = %v", d.Attrs)
+	}
+	if _, ok := d.Attrs["hidden"]; !ok {
+		t.Fatal("boolean attribute missing")
+	}
+}
+
+func TestParseVoidAndSelfClosingTags(t *testing.T) {
+	root := Parse(`<div><img src="x"><br><p>after</p></div>`)
+	div := root.ByTag("div")[0]
+	// img and br must not swallow the p
+	if len(root.ByTag("p")) != 1 {
+		t.Fatal("p missing")
+	}
+	if root.ByTag("p")[0].Parent != div {
+		t.Fatal("p should be a child of div, not of img")
+	}
+	root2 := Parse(`<div><iframe src="a"/><p>x</p></div>`)
+	if len(root2.ByTag("p")) != 1 || root2.ByTag("p")[0].Parent.Tag != "div" {
+		t.Fatal("self-closing iframe mishandled")
+	}
+}
+
+func TestParseUnclosedTagsRecover(t *testing.T) {
+	root := Parse(`<div><p>one<p>two</div><span>after</span>`)
+	if len(root.ByTag("span")) != 1 {
+		t.Fatal("span lost after unclosed p")
+	}
+}
+
+func TestParseCommentsAndDoctype(t *testing.T) {
+	root := Parse("<!DOCTYPE html><!-- hidden --><div>x</div>")
+	if len(root.ByTag("div")) != 1 {
+		t.Fatal("div missing")
+	}
+	if strings.Contains(root.Render(), "hidden") {
+		t.Fatal("comment leaked into tree")
+	}
+}
+
+func TestScriptRawText(t *testing.T) {
+	root := Parse(`<script>if (a < b) { inject("<div>") }</script><div id="real"></div>`)
+	if len(root.ByTag("div")) != 1 {
+		t.Fatal("script content parsed as markup")
+	}
+	if root.ByID("real") == nil {
+		t.Fatal("element after script lost")
+	}
+}
+
+func TestSelectorMatching(t *testing.T) {
+	root := Parse(`<div class="ad-banner"></div><div id="promo"></div><span class="ad-banner"></span>`)
+	if got := len(root.QuerySelectorAll(".ad-banner")); got != 2 {
+		t.Fatalf(".ad-banner matched %d", got)
+	}
+	if got := len(root.QuerySelectorAll("div.ad-banner")); got != 1 {
+		t.Fatalf("div.ad-banner matched %d", got)
+	}
+	if got := len(root.QuerySelectorAll("#promo")); got != 1 {
+		t.Fatalf("#promo matched %d", got)
+	}
+	if got := len(root.QuerySelectorAll("div#promo")); got != 1 {
+		t.Fatalf("div#promo matched %d", got)
+	}
+	if got := len(root.QuerySelectorAll("span")); got != 1 {
+		t.Fatalf("span matched %d", got)
+	}
+	if len(root.QuerySelectorAll("")) != 0 {
+		t.Fatal("empty selector should match nothing")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	root := Parse(`<a><b></b><c><d></d></c></a>`)
+	var order []string
+	root.Walk(func(n *Node) { order = append(order, n.Tag) })
+	want := "#document a b c d"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("walk order %q want %q", got, want)
+	}
+}
+
+func TestRenderRoundTripStructure(t *testing.T) {
+	html := `<div id="x"><p>hi</p><img src="a.png"></div>`
+	root := Parse(html)
+	out := root.Render()
+	reparsed := Parse(out)
+	if reparsed.ByID("x") == nil || len(reparsed.ByTag("img")) != 1 {
+		t.Fatalf("reparse of render lost structure: %s", out)
+	}
+}
+
+func TestDeepNestingResourceExhaustion(t *testing.T) {
+	// §2.2: publishers inject many dummy elements to overwhelm DOM-based ad
+	// blockers. The parser must stay linear and correct on such documents.
+	var sb strings.Builder
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sb.WriteString(`<div class="dummy">`)
+	}
+	sb.WriteString(`<img src="deep.png">`)
+	for i := 0; i < n; i++ {
+		sb.WriteString("</div>")
+	}
+	root := Parse(sb.String())
+	if len(root.ByTag("img")) != 1 {
+		t.Fatal("deep img lost")
+	}
+	if got := len(root.QuerySelectorAll(".dummy")); got != n {
+		t.Fatalf("dummy count %d", got)
+	}
+}

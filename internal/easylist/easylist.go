@@ -1,0 +1,434 @@
+// Package easylist implements a filter-list engine compatible with the core
+// EasyList rule grammar: network blocking rules with anchors, wildcards,
+// separators and options, exception rules, and element-hiding (CSS) rules.
+//
+// In the paper EasyList plays three roles: the labeller for the first
+// training dataset (§4.4.1), the baseline PERCIVAL is compared against
+// (Figs. 6 and 7), and the blocking layer active in the Brave browser
+// profile of the performance evaluation (§5.7). This engine fills all three
+// roles against the synthetic web corpus.
+package easylist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RequestType classifies a network request for option matching.
+type RequestType int
+
+// Request types relevant to the evaluation (EasyList supports more).
+const (
+	TypeImage RequestType = iota
+	TypeScript
+	TypeSubdocument
+	TypeOther
+)
+
+// Request is one network fetch to test against the list.
+type Request struct {
+	// URL is the full resource URL.
+	URL string
+	// Domain is the resource's host.
+	Domain string
+	// PageDomain is the host of the page making the request.
+	PageDomain string
+	// Type is the resource type.
+	Type RequestType
+}
+
+// ThirdParty reports whether the request crosses sites.
+func (r Request) ThirdParty() bool {
+	return !sameSite(r.Domain, r.PageDomain)
+}
+
+func sameSite(a, b string) bool {
+	return a == b || strings.HasSuffix(a, "."+b) || strings.HasSuffix(b, "."+a)
+}
+
+// NetworkRule is a parsed blocking (or exception) rule.
+type NetworkRule struct {
+	// Raw is the original rule text.
+	Raw string
+	// Exception marks an @@ rule.
+	Exception bool
+	// anchors and pattern
+	anchorStart  bool // |http...
+	anchorDomain bool // ||example.com...
+	anchorEnd    bool // ...|
+	tokens       []string
+	// options
+	domains     []string // $domain=a.com|b.com (empty = all)
+	notDomains  []string // $domain=~a.com
+	types       map[RequestType]bool
+	notTypes    map[RequestType]bool
+	thirdParty  *bool
+	optionsSeen bool
+}
+
+// CosmeticRule is an element-hiding rule (##selector / #@#selector).
+type CosmeticRule struct {
+	Raw       string
+	Domains   []string // empty = generic
+	Selector  string
+	Exception bool
+}
+
+// List is a parsed filter list.
+type List struct {
+	Network  []NetworkRule
+	Cosmetic []CosmeticRule
+}
+
+// Parse reads a filter list in EasyList text format. Comment lines (!) and
+// section headers ([Adblock Plus ...]) are skipped. Malformed rules are
+// reported but do not abort parsing, matching real ad-blocker behaviour.
+func Parse(text string) (*List, []error) {
+	l := &List{}
+	var errs []error
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "[") {
+			continue
+		}
+		if idx := strings.Index(line, "#@#"); idx >= 0 {
+			l.Cosmetic = append(l.Cosmetic, parseCosmetic(line, idx, 3, true))
+			continue
+		}
+		if idx := strings.Index(line, "##"); idx >= 0 {
+			l.Cosmetic = append(l.Cosmetic, parseCosmetic(line, idx, 2, false))
+			continue
+		}
+		r, err := parseNetwork(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("easylist: line %d: %w", ln+1, err))
+			continue
+		}
+		l.Network = append(l.Network, r)
+	}
+	return l, errs
+}
+
+func parseCosmetic(line string, idx, sepLen int, exception bool) CosmeticRule {
+	rule := CosmeticRule{Raw: line, Selector: line[idx+sepLen:], Exception: exception}
+	if idx > 0 {
+		for _, d := range strings.Split(line[:idx], ",") {
+			d = strings.TrimSpace(d)
+			if d != "" {
+				rule.Domains = append(rule.Domains, d)
+			}
+		}
+	}
+	return rule
+}
+
+func parseNetwork(line string) (NetworkRule, error) {
+	r := NetworkRule{Raw: line}
+	if strings.HasPrefix(line, "@@") {
+		r.Exception = true
+		line = line[2:]
+	}
+	// split off options
+	if idx := strings.LastIndex(line, "$"); idx >= 0 {
+		opts := line[idx+1:]
+		line = line[:idx]
+		r.optionsSeen = true
+		if err := r.parseOptions(opts); err != nil {
+			return r, err
+		}
+	}
+	if strings.HasPrefix(line, "||") {
+		r.anchorDomain = true
+		line = line[2:]
+	} else if strings.HasPrefix(line, "|") {
+		r.anchorStart = true
+		line = line[1:]
+	}
+	if strings.HasSuffix(line, "|") {
+		r.anchorEnd = true
+		line = line[:len(line)-1]
+	}
+	if line == "" {
+		return r, fmt.Errorf("empty pattern in %q", r.Raw)
+	}
+	r.tokens = strings.Split(line, "*")
+	return r, nil
+}
+
+func (r *NetworkRule) parseOptions(opts string) error {
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		switch {
+		case opt == "":
+			continue
+		case strings.HasPrefix(opt, "domain="):
+			for _, d := range strings.Split(opt[len("domain="):], "|") {
+				if strings.HasPrefix(d, "~") {
+					r.notDomains = append(r.notDomains, d[1:])
+				} else if d != "" {
+					r.domains = append(r.domains, d)
+				}
+			}
+		case opt == "image", opt == "script", opt == "subdocument":
+			if r.types == nil {
+				r.types = map[RequestType]bool{}
+			}
+			r.types[typeFromName(opt)] = true
+		case opt == "~image", opt == "~script", opt == "~subdocument":
+			if r.notTypes == nil {
+				r.notTypes = map[RequestType]bool{}
+			}
+			r.notTypes[typeFromName(opt[1:])] = true
+		case opt == "third-party":
+			v := true
+			r.thirdParty = &v
+		case opt == "~third-party":
+			v := false
+			r.thirdParty = &v
+		default:
+			return fmt.Errorf("unsupported option %q in %q", opt, r.Raw)
+		}
+	}
+	return nil
+}
+
+func typeFromName(name string) RequestType {
+	switch name {
+	case "image":
+		return TypeImage
+	case "script":
+		return TypeScript
+	case "subdocument":
+		return TypeSubdocument
+	}
+	return TypeOther
+}
+
+// Matches reports whether the rule's pattern and options match the request.
+func (r *NetworkRule) Matches(req Request) bool {
+	if !r.optionsMatch(req) {
+		return false
+	}
+	return r.patternMatches(req.URL)
+}
+
+func (r *NetworkRule) optionsMatch(req Request) bool {
+	if r.thirdParty != nil && *r.thirdParty != req.ThirdParty() {
+		return false
+	}
+	if len(r.types) > 0 && !r.types[req.Type] {
+		return false
+	}
+	if r.notTypes != nil && r.notTypes[req.Type] {
+		return false
+	}
+	if len(r.domains) > 0 {
+		ok := false
+		for _, d := range r.domains {
+			if sameSite(req.PageDomain, d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range r.notDomains {
+		if sameSite(req.PageDomain, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// patternMatches implements EasyList pattern semantics over the URL:
+// anchors pin the match position, '*' separates freely-ordered tokens and
+// '^' within a token matches a separator character (anything that is not a
+// letter, digit, or one of "_-.%") or the end of the URL.
+func (r *NetworkRule) patternMatches(url string) bool {
+	pos := 0
+	for i, tok := range r.tokens {
+		if tok == "" {
+			continue
+		}
+		var at int
+		switch {
+		case i == 0 && r.anchorStart:
+			if !matchesAt(url, 0, tok) {
+				return false
+			}
+			at = 0
+		case i == 0 && r.anchorDomain:
+			at = matchDomainAnchor(url, tok)
+			if at < 0 {
+				return false
+			}
+		default:
+			at = searchToken(url, pos, tok)
+			if at < 0 {
+				return false
+			}
+		}
+		pos = at + len(tok)
+	}
+	if r.anchorEnd {
+		last := r.tokens[len(r.tokens)-1]
+		if last != "" && !strings.HasSuffix(url, strings.ReplaceAll(last, "^", "")) && pos != len(url) {
+			// allow '^' to absorb the end-of-URL
+			if !(strings.HasSuffix(last, "^") && pos >= len(url)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// matchDomainAnchor finds the token starting at a host-boundary position:
+// immediately after "://" or after a "." within the host.
+func matchDomainAnchor(url, tok string) int {
+	schemeEnd := strings.Index(url, "://")
+	if schemeEnd < 0 {
+		return -1
+	}
+	hostStart := schemeEnd + 3
+	hostEnd := len(url)
+	for i := hostStart; i < len(url); i++ {
+		if url[i] == '/' || url[i] == '?' {
+			hostEnd = i
+			break
+		}
+	}
+	for at := hostStart; at <= hostEnd; at++ {
+		if at != hostStart && (at == 0 || url[at-1] != '.') {
+			continue
+		}
+		if matchesAt(url, at, tok) {
+			return at
+		}
+	}
+	return -1
+}
+
+// searchToken finds the first position >= from where tok matches.
+func searchToken(url string, from int, tok string) int {
+	for at := from; at+tokenMinLen(tok) <= len(url); at++ {
+		if matchesAt(url, at, tok) {
+			return at
+		}
+	}
+	// a trailing '^' may match end-of-url with the rest of the token before it
+	return -1
+}
+
+func tokenMinLen(tok string) int {
+	// '^' can match end-of-string, so a trailing '^' doesn't consume a char
+	if strings.HasSuffix(tok, "^") {
+		return len(tok) - 1
+	}
+	return len(tok)
+}
+
+// matchesAt tests tok against url at position at, honoring '^' separators.
+func matchesAt(url string, at int, tok string) bool {
+	for i := 0; i < len(tok); i++ {
+		p := at + i
+		if tok[i] == '^' {
+			if p == len(url) && i == len(tok)-1 {
+				return true // '^' matches end of URL
+			}
+			if p >= len(url) || !isSeparator(url[p]) {
+				return false
+			}
+			continue
+		}
+		if p >= len(url) || url[p] != tok[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '_', c == '-', c == '.', c == '%':
+		return false
+	}
+	return true
+}
+
+// ShouldBlock evaluates the full list against a request: a blocking rule
+// must match and no exception rule may match.
+func (l *List) ShouldBlock(req Request) bool {
+	blocked := false
+	for i := range l.Network {
+		r := &l.Network[i]
+		if r.Exception {
+			continue
+		}
+		if r.Matches(req) {
+			blocked = true
+			break
+		}
+	}
+	if !blocked {
+		return false
+	}
+	for i := range l.Network {
+		r := &l.Network[i]
+		if r.Exception && r.Matches(req) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchingRule returns the first blocking rule matching the request (for
+// diagnostics), or nil.
+func (l *List) MatchingRule(req Request) *NetworkRule {
+	for i := range l.Network {
+		r := &l.Network[i]
+		if !r.Exception && r.Matches(req) {
+			return r
+		}
+	}
+	return nil
+}
+
+// HideSelectors returns the CSS selectors that apply on the given page
+// domain: generic selectors plus domain-scoped ones, minus exceptions.
+func (l *List) HideSelectors(pageDomain string) []string {
+	excluded := map[string]bool{}
+	for _, c := range l.Cosmetic {
+		if !c.Exception {
+			continue
+		}
+		for _, d := range c.Domains {
+			if sameSite(pageDomain, d) {
+				excluded[c.Selector] = true
+			}
+		}
+		if len(c.Domains) == 0 {
+			excluded[c.Selector] = true
+		}
+	}
+	var out []string
+	for _, c := range l.Cosmetic {
+		if c.Exception || excluded[c.Selector] {
+			continue
+		}
+		if len(c.Domains) == 0 {
+			out = append(out, c.Selector)
+			continue
+		}
+		for _, d := range c.Domains {
+			if sameSite(pageDomain, d) {
+				out = append(out, c.Selector)
+				break
+			}
+		}
+	}
+	return out
+}

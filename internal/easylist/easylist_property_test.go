@@ -1,0 +1,69 @@
+package easylist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: filter lists are crowd-sourced text; the engine must
+// survive arbitrary input (real ad blockers skip malformed rules).
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		l, _ := Parse(s)
+		return l != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchNeverPanicsOnRandomRequests throws random rules and URLs at the
+// matcher.
+func TestMatchNeverPanicsOnRandomRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ruleParts := []string{"||", "|", "^", "*", "ads", ".com", "/", "banner", "@@", "$image", "$domain=a.com", "~"}
+	urlParts := []string{"http://", "https://", "ads", ".com", "/", "?q=", "banner", ".png", "a.b", ":8080"}
+	build := func(parts []string, n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(parts[rng.Intn(len(parts))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 400; trial++ {
+		l, _ := Parse(build(ruleParts, 1+rng.Intn(6)))
+		req := Request{
+			URL:        build(urlParts, 1+rng.Intn(6)),
+			Domain:     build(urlParts, 1+rng.Intn(3)),
+			PageDomain: "site.com",
+			Type:       RequestType(rng.Intn(4)),
+		}
+		l.ShouldBlock(req) // must not panic
+		l.MatchingRule(req)
+		l.HideSelectors(req.PageDomain)
+	}
+}
+
+// TestExceptionAlwaysWins: for any request, adding a matching @@ exception
+// must never increase blocking.
+func TestExceptionAlwaysWins(t *testing.T) {
+	base := "||ads.example^\n/banner/\ntrack"
+	withException := base + "\n@@||ads.example^\n@@/banner/\n@@track"
+	lBase, _ := Parse(base)
+	lExc, _ := Parse(withException)
+	urls := []string{
+		"http://ads.example/x.png",
+		"http://cdn.com/banner/1.png",
+		"http://t.com/track?id=1",
+		"http://clean.com/img.png",
+	}
+	for _, u := range urls {
+		req := Request{URL: u, Domain: "cdn.com", PageDomain: "p.com", Type: TypeImage}
+		if lExc.ShouldBlock(req) {
+			t.Fatalf("%s blocked despite blanket exceptions", u)
+		}
+		_ = lBase.ShouldBlock(req)
+	}
+}

@@ -1,0 +1,195 @@
+package easylist
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, text string) *List {
+	t.Helper()
+	l, errs := Parse(text)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return l
+}
+
+func imgReq(url, domain, page string) Request {
+	return Request{URL: url, Domain: domain, PageDomain: page, Type: TypeImage}
+}
+
+func TestParseSkipsCommentsAndHeaders(t *testing.T) {
+	l := mustParse(t, "[Adblock Plus 2.0]\n! comment\n\n||ads.example.com^\n")
+	if len(l.Network) != 1 {
+		t.Fatalf("network rules %d", len(l.Network))
+	}
+}
+
+func TestDomainAnchorMatching(t *testing.T) {
+	l := mustParse(t, "||adnet.com^")
+	cases := []struct {
+		url  string
+		want bool
+	}{
+		{"http://adnet.com/banner.png", true},
+		{"https://adnet.com/x", true},
+		{"https://cdn.adnet.com/x", true}, // subdomain boundary after "."
+		{"https://notadnet.com/x", false}, // no host boundary before match
+		{"https://example.com/adnet.com/x", false},
+		{"https://adnet.company.com/x", false}, // '^' must see separator after match
+	}
+	for _, c := range cases {
+		req := imgReq(c.url, "adnet.com", "site.com")
+		if got := l.ShouldBlock(req); got != c.want {
+			t.Errorf("%s: block=%v want %v", c.url, got, c.want)
+		}
+	}
+}
+
+func TestStartAnchorAndEndAnchor(t *testing.T) {
+	l := mustParse(t, "|http://exact.com/ad.gif|")
+	if !l.ShouldBlock(imgReq("http://exact.com/ad.gif", "exact.com", "p.com")) {
+		t.Fatal("exact match should block")
+	}
+	if l.ShouldBlock(imgReq("http://exact.com/ad.gif?x=1", "exact.com", "p.com")) {
+		t.Fatal("end anchor should reject longer URL")
+	}
+	if l.ShouldBlock(imgReq("https://prefix.http://exact.com/ad.gif", "exact.com", "p.com")) {
+		t.Fatal("start anchor should reject offset match")
+	}
+}
+
+func TestSubstringAndWildcard(t *testing.T) {
+	l := mustParse(t, "/banners/*.png")
+	if !l.ShouldBlock(imgReq("http://x.com/banners/top.png", "x.com", "x.com")) {
+		t.Fatal("wildcard should match")
+	}
+	if l.ShouldBlock(imgReq("http://x.com/banners/top.jpg", "x.com", "x.com")) {
+		t.Fatal("suffix mismatch should not block")
+	}
+	// tokens must appear in order
+	l2 := mustParse(t, "ad*track")
+	if !l2.ShouldBlock(imgReq("http://x.com/ad/pixel/track", "x.com", "x.com")) {
+		t.Fatal("ordered tokens should match")
+	}
+	if l2.ShouldBlock(imgReq("http://x.com/track/pixel/ad", "x.com", "x.com")) {
+		t.Fatal("out-of-order tokens should not match")
+	}
+}
+
+func TestSeparatorSemantics(t *testing.T) {
+	l := mustParse(t, "||ads.net^banner")
+	if !l.ShouldBlock(imgReq("http://ads.net/banner", "ads.net", "p.com")) {
+		t.Fatal("'/' should satisfy '^'")
+	}
+	if l.ShouldBlock(imgReq("http://ads.netxbanner.com/", "ads.netxbanner.com", "p.com")) {
+		t.Fatal("letter should not satisfy '^'")
+	}
+	// '^' at end of pattern may match end of URL
+	l2 := mustParse(t, "||ads.net^")
+	if !l2.ShouldBlock(imgReq("http://ads.net", "ads.net", "p.com")) {
+		t.Fatal("'^' should match end of URL")
+	}
+}
+
+func TestExceptionRules(t *testing.T) {
+	l := mustParse(t, "||adnet.com^\n@@||adnet.com/allowed/")
+	if !l.ShouldBlock(imgReq("http://adnet.com/banner", "adnet.com", "p.com")) {
+		t.Fatal("non-excepted URL should block")
+	}
+	if l.ShouldBlock(imgReq("http://adnet.com/allowed/banner", "adnet.com", "p.com")) {
+		t.Fatal("exception should unblock")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	l := mustParse(t, "/promo/$domain=news.com|mag.com")
+	if !l.ShouldBlock(imgReq("http://cdn.com/promo/1.png", "cdn.com", "news.com")) {
+		t.Fatal("listed domain should block")
+	}
+	if !l.ShouldBlock(imgReq("http://cdn.com/promo/1.png", "cdn.com", "sub.mag.com")) {
+		t.Fatal("subdomain of listed domain should block")
+	}
+	if l.ShouldBlock(imgReq("http://cdn.com/promo/1.png", "cdn.com", "other.com")) {
+		t.Fatal("unlisted domain should not block")
+	}
+	neg := mustParse(t, "/promo/$domain=~news.com")
+	if neg.ShouldBlock(imgReq("http://cdn.com/promo/1.png", "cdn.com", "news.com")) {
+		t.Fatal("negated domain should not block")
+	}
+	if !neg.ShouldBlock(imgReq("http://cdn.com/promo/1.png", "cdn.com", "other.com")) {
+		t.Fatal("other domains should block")
+	}
+}
+
+func TestTypeOptions(t *testing.T) {
+	l := mustParse(t, "||adnet.com^$image")
+	req := imgReq("http://adnet.com/x", "adnet.com", "p.com")
+	if !l.ShouldBlock(req) {
+		t.Fatal("image rule should block image")
+	}
+	req.Type = TypeScript
+	if l.ShouldBlock(req) {
+		t.Fatal("image rule should not block script")
+	}
+	l2 := mustParse(t, "||adnet.com^$~image")
+	if l2.ShouldBlock(imgReq("http://adnet.com/x", "adnet.com", "p.com")) {
+		t.Fatal("~image should not block image")
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	l := mustParse(t, "||tracker.com^$third-party")
+	if !l.ShouldBlock(imgReq("http://tracker.com/x", "tracker.com", "news.com")) {
+		t.Fatal("cross-site should block")
+	}
+	if l.ShouldBlock(imgReq("http://tracker.com/x", "tracker.com", "tracker.com")) {
+		t.Fatal("same-site should not block")
+	}
+	if l.ShouldBlock(imgReq("http://cdn.tracker.com/x", "cdn.tracker.com", "tracker.com")) {
+		t.Fatal("subdomain is first-party")
+	}
+}
+
+func TestCosmeticRules(t *testing.T) {
+	l := mustParse(t, "##.ad-banner\nnews.com##.sponsored\n#@#.ad-banner")
+	sel := l.HideSelectors("news.com")
+	joined := strings.Join(sel, ",")
+	if strings.Contains(joined, ".ad-banner") {
+		t.Fatal("generic exception should remove .ad-banner")
+	}
+	if !strings.Contains(joined, ".sponsored") {
+		t.Fatal("domain-scoped selector missing")
+	}
+	if s := l.HideSelectors("other.com"); strings.Contains(strings.Join(s, ","), ".sponsored") {
+		t.Fatal("domain-scoped selector leaked to other domain")
+	}
+}
+
+func TestParseReportsErrorsButContinues(t *testing.T) {
+	l, errs := Parse("||good.com^\n$image\n||also-good.com^")
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	if len(l.Network) != 2 {
+		t.Fatalf("want 2 parsed rules, got %d", len(l.Network))
+	}
+}
+
+func TestUnsupportedOptionIsError(t *testing.T) {
+	_, errs := Parse("||x.com^$websocket")
+	if len(errs) != 1 {
+		t.Fatalf("want unsupported-option error, got %v", errs)
+	}
+}
+
+func TestMatchingRuleDiagnostics(t *testing.T) {
+	l := mustParse(t, "||a.com^\n||b.com^")
+	r := l.MatchingRule(imgReq("http://b.com/x", "b.com", "p.com"))
+	if r == nil || r.Raw != "||b.com^" {
+		t.Fatalf("MatchingRule = %+v", r)
+	}
+	if l.MatchingRule(imgReq("http://c.com/x", "c.com", "p.com")) != nil {
+		t.Fatal("no rule should match")
+	}
+}

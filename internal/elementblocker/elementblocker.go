@@ -1,0 +1,85 @@
+// Package elementblocker implements the element-based perceptual ad blocker
+// PERCIVAL is contrasted against in §2.2 and §7 (Ad Highlighter-style,
+// Storey et al.): it walks the DOM for image elements, screenshots each
+// element's rendered box, and classifies the crop. Because it trusts the
+// rendered composite, it inherits two weaknesses PERCIVAL avoids — the
+// dynamic-load screenshot race, and CSS overlay masks that perturb the
+// rendered region without touching the decoded image bytes.
+package elementblocker
+
+import (
+	"fmt"
+
+	"percival/internal/browser"
+	"percival/internal/dom"
+	"percival/internal/imaging"
+	"percival/internal/layout"
+	"percival/internal/webgen"
+)
+
+// Classifier scores a rendered crop; true means "ad".
+type Classifier func(*imaging.Bitmap) bool
+
+// Verdict records one element's outcome.
+type Verdict struct {
+	Src       string
+	IsAdTruth bool
+	Flagged   bool
+}
+
+// Blocker is the DOM-scanning element blocker.
+type Blocker struct {
+	Corpus   *webgen.Corpus
+	Classify Classifier
+}
+
+// Scan renders the page (no in-pipeline inspector), then screenshots and
+// classifies every image element's box, returning per-element verdicts.
+func (bl *Blocker) Scan(url string) ([]Verdict, error) {
+	if bl.Classify == nil {
+		return nil, fmt.Errorf("elementblocker: nil classifier")
+	}
+	b, err := browser.New(browser.Config{Profile: browser.Chromium(), Corpus: bl.Corpus})
+	if err != nil {
+		return nil, err
+	}
+	res, err := b.Render(url, 0)
+	if err != nil {
+		return nil, err
+	}
+	page, _ := bl.Corpus.Page(url)
+	doc := dom.Parse(page.HTML)
+	dims := map[string][2]int{}
+	for _, ri := range res.Images {
+		bm := ri.Spec.Render(0)
+		dims[ri.Spec.URL] = [2]int{bm.W, bm.H}
+	}
+	sizer := func(src string) (int, int, bool) {
+		d, ok := dims[src]
+		if !ok {
+			return 0, 0, false
+		}
+		return d[0], d[1], true
+	}
+	box := layout.Layout(doc, layout.DefaultViewportW, sizer)
+
+	var out []Verdict
+	for _, node := range doc.ByTag("img") {
+		src := node.Attrs["src"]
+		spec, ok := bl.Corpus.Image(src)
+		if !ok {
+			continue
+		}
+		lb := layout.FindBox(box, node)
+		if lb == nil || lb.W < 8 || lb.H < 8 {
+			continue
+		}
+		crop := res.Surface.SubImage(lb.X, lb.Y, lb.X+lb.W, lb.Y+lb.H)
+		out = append(out, Verdict{
+			Src:       src,
+			IsAdTruth: spec.IsAd,
+			Flagged:   bl.Classify(crop),
+		})
+	}
+	return out, nil
+}

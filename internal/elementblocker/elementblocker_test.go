@@ -1,0 +1,125 @@
+package elementblocker
+
+import (
+	"testing"
+
+	"percival/internal/imaging"
+	"percival/internal/webgen"
+)
+
+// oracle flags crops matching ground truth by comparing against the
+// corpus's own rendering — here we just use a pixel-statistics heuristic so
+// the test exercises the scan mechanics without training a model.
+func brightnessClassifier(threshold float64) Classifier {
+	return func(b *imaging.Bitmap) bool {
+		var sum float64
+		for i := 0; i < len(b.Pix); i += 4 {
+			sum += float64(b.Pix[i]) + float64(b.Pix[i+1]) + float64(b.Pix[i+2])
+		}
+		return sum/float64(len(b.Pix)/4*3) > threshold
+	}
+}
+
+func TestScanWalksEveryImageElement(t *testing.T) {
+	corpus := webgen.NewCorpus(21, 4)
+	bl := &Blocker{Corpus: corpus, Classify: brightnessClassifier(0)}
+	url := corpus.Sites[0].PageURLs[0]
+	verdicts, err := bl.Scan(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) == 0 {
+		t.Fatal("no elements scanned")
+	}
+	page, _ := corpus.Page(url)
+	adCount := 0
+	for _, v := range verdicts {
+		if _, ok := corpus.Image(v.Src); !ok {
+			t.Fatalf("verdict for unregistered src %s", v.Src)
+		}
+		if v.IsAdTruth {
+			adCount++
+		}
+		// brightness > 0 means everything flagged
+		if !v.Flagged {
+			t.Fatal("always-true classifier must flag everything")
+		}
+	}
+	_ = page
+	if adCount == 0 {
+		t.Fatal("page should contain directly-embedded ads")
+	}
+}
+
+func TestScanRequiresClassifier(t *testing.T) {
+	corpus := webgen.NewCorpus(22, 2)
+	bl := &Blocker{Corpus: corpus}
+	if _, err := bl.Scan(corpus.Sites[0].PageURLs[0]); err == nil {
+		t.Fatal("nil classifier must error")
+	}
+}
+
+func TestScanUnknownURL(t *testing.T) {
+	corpus := webgen.NewCorpus(23, 2)
+	bl := &Blocker{Corpus: corpus, Classify: brightnessClassifier(0)}
+	if _, err := bl.Scan("http://nope.example/"); err == nil {
+		t.Fatal("unknown URL must error")
+	}
+}
+
+// TestAttackPageOverlaysChangeScreenshotsNotFrames is the §2.2 mechanism
+// check: the overlay must alter the element's screenshot while the decoded
+// creative is byte-identical.
+func TestAttackPageOverlaysChangeScreenshotsNotFrames(t *testing.T) {
+	corpus := webgen.NewCorpus(24, 2)
+	page := corpus.GenerateAttackPage(0)
+	if len(page.Images) == 0 {
+		t.Fatal("empty attack page")
+	}
+	var adSpec *webgen.ImageSpec
+	for _, s := range page.Images {
+		if s.IsAd {
+			adSpec = s
+		}
+	}
+	if adSpec == nil {
+		t.Fatal("attack page carries no ads")
+	}
+	// the decoded frame is the pure creative regardless of the overlay
+	frame := adSpec.Render(0)
+	if frame.W == 0 || imagingAllOneColor(frame) {
+		t.Fatal("creative degenerate")
+	}
+	// the element screenshot contains overlay stripes: scan and compare the
+	// crop against the pure creative
+	bl := &Blocker{Corpus: corpus, Classify: func(b *imaging.Bitmap) bool {
+		// detect the sky-colored mask stripes
+		c := b.At(b.W/2, 1)
+		return c.B > 200 && c.R < 180
+	}}
+	verdicts, err := bl.Scan(page.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskSeen := false
+	for _, v := range verdicts {
+		if v.IsAdTruth && v.Flagged {
+			maskSeen = true
+		}
+	}
+	if !maskSeen {
+		t.Fatal("no overlay stripes found in any ad element screenshot")
+	}
+}
+
+func imagingAllOneColor(b *imaging.Bitmap) bool {
+	first := b.At(0, 0)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.At(x, y) != first {
+				return false
+			}
+		}
+	}
+	return true
+}

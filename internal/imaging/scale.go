@@ -1,0 +1,94 @@
+package imaging
+
+import "percival/internal/tensor"
+
+// ResizeBilinear scales the bitmap to w×h with bilinear filtering. This is
+// the scaling step PERCIVAL performs before classification: "PERCIVAL reads
+// the image, scales it to 224×224×4 ... creates a tensor" (§3.3).
+func ResizeBilinear(src *Bitmap, w, h int) *Bitmap {
+	dst := NewBitmap(w, h)
+	if src.W == w && src.H == h {
+		copy(dst.Pix, src.Pix)
+		return dst
+	}
+	xRatio := float64(src.W-1) / float64(maxInt(w-1, 1))
+	yRatio := float64(src.H-1) / float64(maxInt(h-1, 1))
+	for y := 0; y < h; y++ {
+		sy := float64(y) * yRatio
+		y0 := int(sy)
+		y1 := y0 + 1
+		if y1 >= src.H {
+			y1 = src.H - 1
+		}
+		fy := sy - float64(y0)
+		for x := 0; x < w; x++ {
+			sx := float64(x) * xRatio
+			x0 := int(sx)
+			x1 := x0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			fx := sx - float64(x0)
+			di := (y*w + x) * 4
+			for c := 0; c < 4; c++ {
+				p00 := float64(src.Pix[(y0*src.W+x0)*4+c])
+				p01 := float64(src.Pix[(y0*src.W+x1)*4+c])
+				p10 := float64(src.Pix[(y1*src.W+x0)*4+c])
+				p11 := float64(src.Pix[(y1*src.W+x1)*4+c])
+				top := p00 + (p01-p00)*fx
+				bot := p10 + (p11-p10)*fx
+				dst.Pix[di+c] = uint8(top + (bot-top)*fy + 0.5)
+			}
+		}
+	}
+	return dst
+}
+
+// ToTensor converts a bitmap into a [1,4,H,W] network input, scaling pixel
+// values to [0,1]. Channel order is RGBA, matching the decoded buffer layout.
+func ToTensor(b *Bitmap) *tensor.Tensor {
+	t := tensor.New(1, 4, b.H, b.W)
+	plane := b.H * b.W
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			si := (y*b.W + x) * 4
+			pi := y*b.W + x
+			for c := 0; c < 4; c++ {
+				t.Data[c*plane+pi] = float32(b.Pix[si+c]) / 255
+			}
+		}
+	}
+	return t
+}
+
+// BatchToTensor stacks same-sized bitmaps into an [N,4,H,W] batch.
+func BatchToTensor(bs []*Bitmap) *tensor.Tensor {
+	if len(bs) == 0 {
+		panic("imaging: empty batch")
+	}
+	h, w := bs[0].H, bs[0].W
+	t := tensor.New(len(bs), 4, h, w)
+	per := 4 * h * w
+	for i, b := range bs {
+		if b.H != h || b.W != w {
+			panic("imaging: batch bitmaps must share dimensions")
+		}
+		one := ToTensor(b)
+		copy(t.Data[i*per:(i+1)*per], one.Data)
+	}
+	return t
+}
+
+// PrepareInput resizes a decoded frame to the network resolution and converts
+// it to a tensor — the complete pre-processing PERCIVAL applies inside the
+// raster task.
+func PrepareInput(b *Bitmap, res int) *tensor.Tensor {
+	return ToTensor(ResizeBilinear(b, res, res))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+// Package layout implements the middle of the rendering pipeline (§3.2):
+// it turns a DOM tree into a layout tree (boxes with screen coordinates) and
+// then into a display list — the sequence of draw commands the raster stage
+// consumes. The model is a simplified block-flow layout: block elements
+// stack vertically, images and iframes occupy their intrinsic size, text
+// flows in fixed-height lines.
+package layout
+
+import (
+	"image/color"
+
+	"percival/internal/dom"
+)
+
+// Box is one node of the layout tree.
+type Box struct {
+	Node       *dom.Node
+	X, Y, W, H int
+	Children   []*Box
+}
+
+// Sizer resolves an image URL to its intrinsic pixel size. The browser
+// supplies this from fetched resources; unresolvable sources get a
+// placeholder slot.
+type Sizer func(src string) (w, h int, ok bool)
+
+// Constants of the simplified layout model.
+const (
+	DefaultViewportW = 1280
+	lineHeight       = 18
+	blockPadding     = 8
+	charsPerLine     = 80
+)
+
+// Layout computes the layout tree for a document at the given viewport
+// width. The returned root box's height is the document height.
+func Layout(doc *dom.Node, viewportW int, size Sizer) *Box {
+	if viewportW <= 0 {
+		viewportW = DefaultViewportW
+	}
+	root := &Box{Node: doc, X: 0, Y: 0, W: viewportW}
+	y := layoutChildren(doc, root, 0, 0, viewportW, size)
+	root.H = y
+	return root
+}
+
+// layoutChildren stacks n's children vertically starting at (x, y) within
+// width w; returns the y after the last child.
+func layoutChildren(n *dom.Node, parent *Box, x, y, w int, size Sizer) int {
+	for _, child := range n.Children {
+		switch {
+		case child.Attrs["data-overlay"] == "prev":
+			// Absolute-positioned overlay covering the previous sibling's
+			// box — the CSS masking construct of the §2.2/§7 evasion attacks.
+			// It consumes no flow space and paints after (thus over) the
+			// element it covers.
+			if len(parent.Children) == 0 {
+				continue
+			}
+			prev := parent.Children[len(parent.Children)-1]
+			box := &Box{Node: child, X: prev.X, Y: prev.Y, W: prev.W, H: prev.H}
+			parent.Children = append(parent.Children, box)
+		case child.Tag == "" && child.Text != "":
+			lines := (len(child.Text) + charsPerLine - 1) / charsPerLine
+			box := &Box{Node: child, X: x, Y: y, W: w, H: lines * lineHeight}
+			parent.Children = append(parent.Children, box)
+			y += box.H
+		case child.Tag == "img" || child.Tag == "iframe":
+			iw, ih := 300, 250 // placeholder slot until the resource resolves
+			if size != nil {
+				if rw, rh, ok := size(child.Attrs["src"]); ok {
+					iw, ih = rw, rh
+				}
+			}
+			if iw > w && w > 0 {
+				// downscale to fit the containing block, preserving ratio
+				ih = ih * w / iw
+				iw = w
+			}
+			box := &Box{Node: child, X: x, Y: y, W: iw, H: ih}
+			parent.Children = append(parent.Children, box)
+			y += ih
+		case child.Tag == "script" || child.Tag == "style" || child.Tag == "meta" || child.Tag == "link":
+			// non-visual
+		case child.Tag != "":
+			box := &Box{Node: child, X: x, Y: y, W: w}
+			parent.Children = append(parent.Children, box)
+			innerY := layoutChildren(child, box, x+blockPadding, y+blockPadding, w-2*blockPadding, size)
+			box.H = innerY - y + blockPadding
+			y = innerY + blockPadding
+		}
+	}
+	return y
+}
+
+// ItemKind discriminates display-list commands.
+type ItemKind int
+
+// Display item kinds.
+const (
+	ItemRect ItemKind = iota
+	ItemImage
+	ItemText
+	// ItemPattern is a sparse perturbation pattern painted over its box —
+	// the adversarial overlay mask from §2.2/§7 attack pages. It disturbs a
+	// screenshot of the region while the underlying content stays legible.
+	ItemPattern
+)
+
+// DisplayItem is one draw command. For ItemImage, Src identifies the
+// resource whose decoded pixels are drawn; the raster stage performs the
+// decode (deferred image decoding, §3.3).
+type DisplayItem struct {
+	Kind       ItemKind
+	X, Y, W, H int
+	Color      color.RGBA
+	Src        string
+	Text       string
+	// Element is the DOM node the item paints (for provenance/debugging).
+	Element *dom.Node
+}
+
+// BuildDisplayList walks the layout tree in paint order and emits draw
+// commands: container backgrounds, images, then text.
+func BuildDisplayList(root *Box) []DisplayItem {
+	var items []DisplayItem
+	var walk func(b *Box)
+	walk = func(b *Box) {
+		n := b.Node
+		if n != nil {
+			switch {
+			case n.Attrs["data-overlay"] == "prev":
+				items = append(items, DisplayItem{
+					Kind: ItemPattern, X: b.X, Y: b.Y, W: b.W, H: b.H,
+					Color: color.RGBA{0, 0, 0, 255}, Element: n,
+				})
+			case n.Tag == "img" || n.Tag == "iframe":
+				items = append(items, DisplayItem{
+					Kind: ItemImage, X: b.X, Y: b.Y, W: b.W, H: b.H,
+					Src: n.Attrs["src"], Element: n,
+				})
+			case n.Tag == "" && n.Text != "":
+				items = append(items, DisplayItem{
+					Kind: ItemText, X: b.X, Y: b.Y, W: b.W, H: b.H,
+					Text: n.Text, Color: color.RGBA{40, 40, 40, 255}, Element: n,
+				})
+			case n.Tag == "div":
+				items = append(items, DisplayItem{
+					Kind: ItemRect, X: b.X, Y: b.Y, W: b.W, H: b.H,
+					Color: color.RGBA{250, 250, 250, 255}, Element: n,
+				})
+			}
+		}
+		for _, c := range b.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return items
+}
+
+// FindBox returns the layout box for a DOM node (depth-first), or nil.
+func FindBox(root *Box, n *dom.Node) *Box {
+	if root.Node == n {
+		return root
+	}
+	for _, c := range root.Children {
+		if b := FindBox(c, n); b != nil {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package layout
+
+import (
+	"testing"
+
+	"percival/internal/dom"
+)
+
+func fixedSizer(w, h int) Sizer {
+	return func(string) (int, int, bool) { return w, h, true }
+}
+
+func TestLayoutStacksBlocksVertically(t *testing.T) {
+	doc := dom.Parse(`<div><p>one</p></div><div><p>two</p></div>`)
+	root := Layout(doc, 1000, nil)
+	if len(root.Children) != 2 {
+		t.Fatalf("children %d", len(root.Children))
+	}
+	a, b := root.Children[0], root.Children[1]
+	if b.Y < a.Y+a.H {
+		t.Fatalf("second div overlaps first: a=%+v b=%+v", a, b)
+	}
+	if root.H < b.Y+b.H {
+		t.Fatal("document height too small")
+	}
+}
+
+func TestLayoutImageIntrinsicSize(t *testing.T) {
+	doc := dom.Parse(`<img src="a.png">`)
+	root := Layout(doc, 1000, fixedSizer(300, 250))
+	img := root.Children[0]
+	if img.W != 300 || img.H != 250 {
+		t.Fatalf("img box %dx%d", img.W, img.H)
+	}
+}
+
+func TestLayoutImagePlaceholderWithoutSizer(t *testing.T) {
+	doc := dom.Parse(`<img src="a.png">`)
+	root := Layout(doc, 1000, nil)
+	img := root.Children[0]
+	if img.W != 300 || img.H != 250 {
+		t.Fatalf("placeholder %dx%d", img.W, img.H)
+	}
+}
+
+func TestLayoutOversizedImageScalesToFit(t *testing.T) {
+	doc := dom.Parse(`<img src="wide.png">`)
+	root := Layout(doc, 400, fixedSizer(800, 200))
+	img := root.Children[0]
+	if img.W != 400 || img.H != 100 {
+		t.Fatalf("scaled box %dx%d, want 400x100", img.W, img.H)
+	}
+}
+
+func TestLayoutSkipsNonVisual(t *testing.T) {
+	doc := dom.Parse(`<script>var x=1;</script><style>.a{}</style><div>x</div>`)
+	root := Layout(doc, 1000, nil)
+	if len(root.Children) != 1 || root.Children[0].Node.Tag != "div" {
+		t.Fatalf("non-visual elements laid out: %d children", len(root.Children))
+	}
+}
+
+func TestLayoutViewportDefault(t *testing.T) {
+	doc := dom.Parse(`<div>x</div>`)
+	root := Layout(doc, 0, nil)
+	if root.W != DefaultViewportW {
+		t.Fatalf("viewport %d", root.W)
+	}
+}
+
+func TestDisplayListContainsImagesAndText(t *testing.T) {
+	doc := dom.Parse(`<div class="c"><p>hello world</p><img src="x.png"></div>`)
+	root := Layout(doc, 800, fixedSizer(100, 50))
+	items := BuildDisplayList(root)
+	var rects, images, texts int
+	for _, it := range items {
+		switch it.Kind {
+		case ItemRect:
+			rects++
+		case ItemImage:
+			images++
+			if it.Src != "x.png" {
+				t.Fatalf("image src %q", it.Src)
+			}
+		case ItemText:
+			texts++
+		}
+	}
+	if rects != 1 || images != 1 || texts != 1 {
+		t.Fatalf("items rect=%d img=%d text=%d", rects, images, texts)
+	}
+}
+
+func TestDisplayListPaintOrderBackgroundFirst(t *testing.T) {
+	doc := dom.Parse(`<div><img src="x.png"></div>`)
+	root := Layout(doc, 800, fixedSizer(10, 10))
+	items := BuildDisplayList(root)
+	if len(items) != 2 || items[0].Kind != ItemRect || items[1].Kind != ItemImage {
+		t.Fatalf("paint order wrong: %+v", items)
+	}
+}
+
+func TestFindBox(t *testing.T) {
+	doc := dom.Parse(`<div><img src="x.png"></div>`)
+	root := Layout(doc, 800, fixedSizer(10, 10))
+	img := doc.ByTag("img")[0]
+	b := FindBox(root, img)
+	if b == nil || b.Node != img {
+		t.Fatal("FindBox failed")
+	}
+	if FindBox(root, &dom.Node{}) != nil {
+		t.Fatal("FindBox should miss unknown node")
+	}
+}
+
+func TestNestedPaddingAccumulates(t *testing.T) {
+	doc := dom.Parse(`<div><div><p>deep</p></div></div>`)
+	root := Layout(doc, 500, nil)
+	outer := root.Children[0]
+	inner := outer.Children[0]
+	if inner.X <= outer.X {
+		t.Fatal("inner block should be inset")
+	}
+	p := inner.Children[0]
+	if p.X <= inner.X {
+		t.Fatal("paragraph should be inset further")
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+
+	"percival/internal/tensor"
+)
+
+// Fire is SqueezeNet's building block (§4.2): a 1×1 "squeeze" convolution
+// that cuts the channel count, followed by parallel 1×1 and 3×3 "expand"
+// convolutions whose outputs are concatenated along the channel axis. Each
+// convolution is followed by a ReLU.
+type Fire struct {
+	name      string
+	Squeeze   *Conv2D
+	squeezeRe *ReLU
+	Expand1   *Conv2D
+	expand1Re *ReLU
+	Expand3   *Conv2D
+	expand3Re *ReLU
+
+	// training-only state
+	squeezed *tensor.Tensor
+}
+
+// NewFire builds a fire module: inC input channels, sq squeeze channels, and
+// e1/e3 expand channels for the 1×1 and 3×3 branches. Output channel count
+// is e1+e3.
+func NewFire(name string, inC, sq, e1, e3 int) *Fire {
+	return &Fire{
+		name:      name,
+		Squeeze:   NewConv2D(name+".squeeze", tensor.ConvSpec{InC: inC, OutC: sq, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		squeezeRe: NewReLU(name + ".squeeze_relu"),
+		Expand1:   NewConv2D(name+".expand1x1", tensor.ConvSpec{InC: sq, OutC: e1, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		expand1Re: NewReLU(name + ".expand1x1_relu"),
+		Expand3:   NewConv2D(name+".expand3x3", tensor.ConvSpec{InC: sq, OutC: e3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}),
+		expand3Re: NewReLU(name + ".expand3x3_relu"),
+	}
+}
+
+// OutChannels returns the concatenated output channel count.
+func (f *Fire) OutChannels() int { return f.Expand1.Spec.OutC + f.Expand3.Spec.OutC }
+
+// Name implements Layer.
+func (f *Fire) Name() string { return f.name }
+
+// Forward implements Layer.
+func (f *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s := f.squeezeRe.Forward(f.Squeeze.Forward(x, train), train)
+	if train {
+		f.squeezed = s
+	}
+	// The expand branches both read s; training mode stores s per branch.
+	a := f.expand1Re.Forward(f.Expand1.Forward(s, train), train)
+	b := f.expand3Re.Forward(f.Expand3.Forward(s, train), train)
+	return concatChannels(a, b)
+}
+
+// Backward implements Layer.
+func (f *Fire) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	da, db := splitChannels(dy, f.Expand1.Spec.OutC)
+	ds1 := f.Expand1.Backward(f.expand1Re.Backward(da))
+	ds3 := f.Expand3.Backward(f.expand3Re.Backward(db))
+	ds1.AddInPlace(ds3)
+	f.squeezed = nil
+	return f.Squeeze.Backward(f.squeezeRe.Backward(ds1))
+}
+
+// Params implements Layer.
+func (f *Fire) Params() []*Param {
+	ps := f.Squeeze.Params()
+	ps = append(ps, f.Expand1.Params()...)
+	ps = append(ps, f.Expand3.Params()...)
+	return ps
+}
+
+// concatChannels joins two [N,C,H,W] tensors along the channel axis.
+func concatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	if a.Shape[0] != b.Shape[0] || a.Shape[2] != b.Shape[2] || a.Shape[3] != b.Shape[3] {
+		panic(fmt.Sprintf("nn: concat shape mismatch %s vs %s", shapeStr(a.Shape), shapeStr(b.Shape)))
+	}
+	n, ca, cb := a.Shape[0], a.Shape[1], b.Shape[1]
+	h, w := a.Shape[2], a.Shape[3]
+	plane := h * w
+	y := tensor.New(n, ca+cb, h, w)
+	for i := 0; i < n; i++ {
+		copy(y.Data[i*(ca+cb)*plane:], a.Data[i*ca*plane:(i+1)*ca*plane])
+		copy(y.Data[(i*(ca+cb)+ca)*plane:], b.Data[i*cb*plane:(i+1)*cb*plane])
+	}
+	return y
+}
+
+// splitChannels is the inverse of concatChannels: the first ca channels go to
+// the first tensor, the rest to the second.
+func splitChannels(y *tensor.Tensor, ca int) (a, b *tensor.Tensor) {
+	n, c, h, w := y.Shape[0], y.Shape[1], y.Shape[2], y.Shape[3]
+	cb := c - ca
+	plane := h * w
+	a = tensor.New(n, ca, h, w)
+	b = tensor.New(n, cb, h, w)
+	for i := 0; i < n; i++ {
+		copy(a.Data[i*ca*plane:], y.Data[i*c*plane:i*c*plane+ca*plane])
+		copy(b.Data[i*cb*plane:], y.Data[i*c*plane+ca*plane:(i+1)*c*plane])
+	}
+	return a, b
+}

@@ -1,0 +1,68 @@
+package squeezenet
+
+import (
+	"fmt"
+
+	"percival/internal/nn"
+	"percival/internal/tensor"
+)
+
+// OriginalConfig describes SqueezeNet v1.0 (Iandola et al. 2016), the network
+// PERCIVAL forked. It is built here for the Fig. 3 side-by-side comparison:
+// parameter count, model size and forward-pass latency versus the fork.
+type OriginalConfig struct {
+	InputRes   int
+	InChannels int
+	Classes    int
+}
+
+// OriginalSqueezeNet returns the v1.0 config at ImageNet scale. With 1000
+// classes it weighs in at ~1.25M parameters (~4.8 MB of float32 weights,
+// matching the paper's "around 5 MB").
+func OriginalSqueezeNet() OriginalConfig {
+	return OriginalConfig{InputRes: 224, InChannels: 3, Classes: 1000}
+}
+
+// BuildOriginal constructs SqueezeNet v1.0:
+//
+//	conv1 7×7/2 (96) → maxpool3/2 →
+//	fire2(16,64,64) fire3(16,64,64) fire4(32,128,128) → maxpool3/2 →
+//	fire5(32,128,128) fire6(48,192,192) fire7(48,192,192) fire8(64,256,256) → maxpool3/2 →
+//	fire9(64,256,256) → dropout 0.5 → conv10 1×1 (classes) → GAP → softmax
+func BuildOriginal(cfg OriginalConfig) *nn.Sequential {
+	type fire struct{ sq, e1, e3 int }
+	plan := []struct {
+		fires    []fire
+		poolNext bool
+	}{
+		{[]fire{{16, 64, 64}, {16, 64, 64}, {32, 128, 128}}, true},
+		{[]fire{{32, 128, 128}, {48, 192, 192}, {48, 192, 192}, {64, 256, 256}}, true},
+		{[]fire{{64, 256, 256}}, false},
+	}
+	var layers []nn.Layer
+	layers = append(layers,
+		nn.NewConv2D("conv1", tensor.ConvSpec{
+			InC: cfg.InChannels, OutC: 96, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3,
+		}),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool("maxpool1", 3, 2),
+	)
+	inC := 96
+	idx := 2
+	for gi, group := range plan {
+		for _, f := range group.fires {
+			layers = append(layers, nn.NewFire(fmt.Sprintf("fire%d", idx), inC, f.sq, f.e1, f.e3))
+			inC = f.e1 + f.e3
+			idx++
+		}
+		if group.poolNext {
+			layers = append(layers, nn.NewMaxPool(fmt.Sprintf("maxpool%d", gi+2), 3, 2))
+		}
+	}
+	layers = append(layers,
+		nn.NewDropout("dropout", 0.5, 0x51_00),
+		nn.NewConv2D("conv10", tensor.ConvSpec{InC: inC, OutC: cfg.Classes, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		nn.NewGlobalAvgPool("gap"),
+	)
+	return nn.NewSequential(layers...)
+}

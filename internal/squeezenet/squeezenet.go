@@ -1,0 +1,202 @@
+// Package squeezenet builds the CNN architectures from the paper: the
+// original SqueezeNet (Iandola et al.) used as the starting point, and
+// PERCIVAL's fork of it (Fig. 3) — a convolution layer, six fire modules
+// with max-pooling after the first convolution and after every two fire
+// modules, a final classifier convolution, global average pooling and
+// softmax. The fork removes SqueezeNet's extra fire modules and downsamples
+// at regular intervals to cut per-image classification time.
+package squeezenet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"percival/internal/nn"
+	"percival/internal/tensor"
+)
+
+// FireDims gives the channel plan of one fire module: Squeeze is the 1×1
+// squeeze width; Expand is the total output width, split evenly between the
+// 1×1 and 3×3 expand branches.
+type FireDims struct {
+	Squeeze int
+	Expand  int
+}
+
+// Config describes a PERCIVAL-style network. The zero value is not usable;
+// start from PaperConfig or SmallConfig.
+type Config struct {
+	// Name tags the architecture in serialized models and reports.
+	Name string
+	// InputRes is the square input resolution (paper: 224).
+	InputRes int
+	// InChannels is the input channel count. The paper feeds 224×224×4 RGBA
+	// bitmaps straight from the decode pipeline (§3.3).
+	InChannels int
+	// Classes is the output class count (2: ad / not-ad).
+	Classes int
+	// Conv1Out / Conv1K / Conv1Stride describe the stem convolution.
+	Conv1Out, Conv1K, Conv1Stride int
+	// PoolK / PoolStride describe every max-pooling layer.
+	PoolK, PoolStride int
+	// Fires is the channel plan for the six fire modules (pairs of which are
+	// followed by max-pooling).
+	Fires []FireDims
+	// Dropout is the drop probability before the classifier conv.
+	Dropout float64
+}
+
+// PaperConfig is PERCIVAL's network at paper scale: 224×224×4 input, a 7×7/2
+// stem, six fire modules, ~450k parameters (≈1.8 MB of float32 weights,
+// matching the paper's "less than 2 MB" / Fig. 8's 1.9 MB).
+func PaperConfig() Config {
+	return Config{
+		Name:       "percival-224",
+		InputRes:   224,
+		InChannels: 4,
+		Classes:    2,
+		Conv1Out:   96, Conv1K: 7, Conv1Stride: 2,
+		PoolK: 3, PoolStride: 2,
+		Fires: []FireDims{
+			{16, 64}, {16, 64},
+			{32, 128}, {32, 128},
+			{64, 512}, {64, 512},
+		},
+		Dropout: 0.5,
+	}
+}
+
+// SmallConfig scales the architecture down to a given input resolution so the
+// full training/evaluation pipeline runs quickly on CPU. The topology (six
+// fire modules, pooling cadence, classifier head) is unchanged; only the stem
+// and channel widths shrink.
+func SmallConfig(res int) Config {
+	if res < 16 {
+		res = 16
+	}
+	return Config{
+		Name:       fmt.Sprintf("percival-%d", res),
+		InputRes:   res,
+		InChannels: 4,
+		Classes:    2,
+		Conv1Out:   16, Conv1K: 3, Conv1Stride: 1,
+		PoolK: 2, PoolStride: 2,
+		Fires: []FireDims{
+			{8, 16}, {8, 16},
+			{12, 24}, {12, 24},
+			{16, 32}, {16, 32},
+		},
+		// Lighter than the paper's 0.5: at reduced width, heavy dropout
+		// noticeably slows CPU-budget convergence.
+		Dropout: 0.1,
+	}
+}
+
+// Validate checks the configuration is structurally sound and that the
+// spatial dimensions survive all downsampling stages.
+func (c Config) Validate() error {
+	if len(c.Fires)%2 != 0 || len(c.Fires) == 0 {
+		return fmt.Errorf("squeezenet: config %s: fire count %d must be a positive multiple of 2", c.Name, len(c.Fires))
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("squeezenet: config %s: need >=2 classes", c.Name)
+	}
+	res := c.InputRes
+	conv := tensor.ConvSpec{KH: c.Conv1K, KW: c.Conv1K, StrideH: c.Conv1Stride, StrideW: c.Conv1Stride, PadH: c.Conv1K / 2, PadW: c.Conv1K / 2}
+	res, _ = conv.OutSize(res, res)
+	pool := tensor.PoolSpec{K: c.PoolK, Stride: c.PoolStride}
+	applyPool := func(stage string) error {
+		if res < c.PoolK {
+			return fmt.Errorf("squeezenet: config %s: spatial size %d smaller than pool window %d at %s; input %d too small", c.Name, res, c.PoolK, stage, c.InputRes)
+		}
+		res, _ = pool.OutSize(res, res)
+		return nil
+	}
+	if err := applyPool("maxpool1"); err != nil {
+		return err
+	}
+	for i := 2; i < len(c.Fires); i += 2 { // a pool follows every fire pair except the last
+		if err := applyPool(fmt.Sprintf("pool after fire %d", i)); err != nil {
+			return err
+		}
+	}
+	if res < 1 {
+		return fmt.Errorf("squeezenet: config %s: spatial size collapses before the classifier", c.Name)
+	}
+	return nil
+}
+
+// Build constructs the network for a config. Weights are uninitialized;
+// call PretrainedInit (the paper's warm start) or nn.InitHe.
+func Build(cfg Config) (*nn.Sequential, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var layers []nn.Layer
+	layers = append(layers,
+		nn.NewConv2D("conv1", tensor.ConvSpec{
+			InC: cfg.InChannels, OutC: cfg.Conv1Out,
+			KH: cfg.Conv1K, KW: cfg.Conv1K,
+			StrideH: cfg.Conv1Stride, StrideW: cfg.Conv1Stride,
+			PadH: cfg.Conv1K / 2, PadW: cfg.Conv1K / 2,
+		}),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool("maxpool1", cfg.PoolK, cfg.PoolStride),
+	)
+	inC := cfg.Conv1Out
+	for i, f := range cfg.Fires {
+		e1 := f.Expand / 2
+		e3 := f.Expand - e1
+		layers = append(layers, nn.NewFire(fmt.Sprintf("fire%d", i+1), inC, f.Squeeze, e1, e3))
+		inC = f.Expand
+		// pool after every second fire module, except after the final pair
+		if (i+1)%2 == 0 && i+1 < len(cfg.Fires) {
+			layers = append(layers, nn.NewMaxPool(fmt.Sprintf("maxpool%d", i/2+2), cfg.PoolK, cfg.PoolStride))
+		}
+	}
+	if cfg.Dropout > 0 {
+		layers = append(layers, nn.NewDropout("dropout", cfg.Dropout, 0x9e3779b9))
+	}
+	layers = append(layers,
+		nn.NewConv2D("conv_final", tensor.ConvSpec{InC: inC, OutC: cfg.Classes, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		nn.NewGlobalAvgPool("gap"),
+	)
+	return nn.NewSequential(layers...), nil
+}
+
+// PretrainedInit reproduces the paper's warm start (§4.3): the stem
+// convolution and the first four fire modules are initialized from a fixed
+// "pretrained" seed — standing in for ImageNet feature-extractor weights that
+// are shared across every training run — while the remaining task-specific
+// layers are freshly He-initialized from trainSeed.
+func PretrainedInit(net *nn.Sequential, trainSeed int64) {
+	const pretrainedSeed = 0x5EED_1000 // fixed: "downloaded" feature extractor
+	preRNG := rand.New(rand.NewSource(pretrainedSeed))
+	trainRNG := rand.New(rand.NewSource(trainSeed))
+	pretrained := map[string]bool{
+		"conv1": true, "fire1": true, "fire2": true, "fire3": true, "fire4": true,
+	}
+	for _, l := range net.Layers {
+		if pretrained[baseName(l.Name())] {
+			nn.InitHe(l, preRNG)
+		} else {
+			nn.InitHe(l, trainRNG)
+		}
+	}
+	// The classifier conv benefits from the gentler Xavier init so the
+	// softmax starts near uniform.
+	for _, l := range net.Layers {
+		if l.Name() == "conv_final" {
+			nn.InitXavier(l, trainRNG)
+		}
+	}
+}
+
+func baseName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,346 @@
+package synth
+
+import (
+	"image/color"
+	"math"
+
+	"percival/internal/imaging"
+)
+
+// adPalette returns a saturated banner color, optionally hue-shifted for the
+// external distribution.
+func (g *Generator) adPalette() color.RGBA {
+	hues := []float64{0.0, 0.08, 0.55, 0.62, 0.78, 0.33, 0.13}
+	h := hues[g.rng.Intn(len(hues))] + g.style.PaletteShift
+	h -= math.Floor(h)
+	return hsv(h, 0.75+0.25*g.rng.Float64(), 0.8+0.2*g.rng.Float64())
+}
+
+// mutedPalette returns a desaturated content color.
+func (g *Generator) mutedPalette() color.RGBA {
+	return hsv(g.rng.Float64(), 0.1+0.25*g.rng.Float64(), 0.5+0.4*g.rng.Float64())
+}
+
+// renderBanner draws the archetypal display ad: bright gradient background,
+// border, headline text, a call-to-action button and an AdChoices chevron in
+// the top-right corner.
+func (g *Generator) renderBanner(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	base := g.adPalette()
+	darker := color.RGBA{base.R / 2, base.G / 2, base.B / 2, 255}
+	b.LinearGradientV(0, 0, sz.W, sz.H, base, darker)
+	if g.rng.Float64() < 0.8 {
+		b.StrokeRect(0, 0, sz.W, sz.H, 1+g.rng.Intn(3), color.RGBA{255, 255, 255, 255})
+	}
+	// headline text block
+	lines := 1 + g.rng.Intn(3)
+	ty := sz.H / 5
+	for i := 0; i < lines && ty < sz.H-10; i++ {
+		g.drawTextLine(b, sz.W/12, ty, sz.W*2/3, color.RGBA{255, 255, 255, 255})
+		ty += g.textLineHeight() + 3
+	}
+	// CTA button
+	if g.rng.Float64() < 0.85 {
+		bw, bh := sz.W/4, clampInt(sz.H/4, 10, 28)
+		bx, by := sz.W-bw-sz.W/10, sz.H-bh-sz.H/8
+		cta := hsv(math.Mod(float64(base.R)/255+0.5, 1), 0.9, 0.95)
+		b.FillRect(bx, by, bx+bw, by+bh, cta)
+		b.StrokeRect(bx, by, bx+bw, by+bh, 1, color.RGBA{255, 255, 255, 255})
+		g.drawTextLine(b, bx+3, by+bh/2-1, bw-6, color.RGBA{255, 255, 255, 255})
+	}
+	if g.rng.Float64() < 0.9 {
+		g.drawAdChoices(b)
+	}
+	return b
+}
+
+// renderProductCard draws an e-commerce style creative: light background,
+// product blob, price tag and sale flash.
+func (g *Generator) renderProductCard(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	b.Fill(color.RGBA{245, 245, 248, 255})
+	b.StrokeRect(0, 0, sz.W, sz.H, 1, color.RGBA{200, 200, 205, 255})
+	// product: a colored shape in the upper area
+	pc := g.adPalette()
+	cx, cy := sz.W/3, sz.H/3
+	r := clampInt(minInt(sz.W, sz.H)/4, 6, 60)
+	if g.rng.Intn(2) == 0 {
+		b.FillCircle(cx, cy, r, pc)
+	} else {
+		b.FillRect(cx-r, cy-r, cx+r, cy+r, pc)
+	}
+	// price text: bold red block
+	priceC := color.RGBA{210, 30, 30, 255}
+	g.drawTextLine(b, sz.W/2, sz.H*2/3, sz.W/3, priceC)
+	// sale flash: high-contrast disk with burst
+	if g.rng.Float64() < 0.7 {
+		fx, fy := sz.W*4/5, sz.H/5
+		fr := clampInt(minInt(sz.W, sz.H)/6, 5, 40)
+		b.FillCircle(fx, fy, fr, color.RGBA{255, 210, 0, 255})
+		b.FillCircle(fx, fy, fr*2/3, color.RGBA{220, 30, 30, 255})
+	}
+	// CTA strip along the bottom
+	if g.rng.Float64() < 0.8 {
+		b.FillRect(0, sz.H-clampInt(sz.H/6, 8, 24), sz.W, sz.H, g.adPalette())
+	}
+	if g.rng.Float64() < 0.9 {
+		g.drawAdChoices(b)
+	}
+	return b
+}
+
+// renderTextAd draws a text-dominant creative (the classic "sponsored link"
+// unit): flat saturated background with dense copy.
+func (g *Generator) renderTextAd(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	bg := g.adPalette()
+	b.Fill(bg)
+	fg := color.RGBA{255, 255, 255, 255}
+	if int(bg.R)+int(bg.G)+int(bg.B) > 500 {
+		fg = color.RGBA{20, 20, 20, 255}
+	}
+	ty := sz.H / 8
+	lh := g.textLineHeight() + 2
+	for ty < sz.H-lh {
+		g.drawTextLine(b, sz.W/14, ty, sz.W*5/6, fg)
+		ty += lh
+		if g.rng.Float64() > g.style.TextDensity*0.85 {
+			ty += lh // paragraph gap
+		}
+	}
+	if g.rng.Float64() < 0.9 {
+		g.drawAdChoices(b)
+	}
+	return b
+}
+
+// renderPhoto draws a photographic content image: sky/ground gradient split
+// at a horizon plus organic blobs.
+func (g *Generator) renderPhoto(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	skyTop := hsv(0.55+0.1*g.rng.Float64(), 0.3+0.3*g.rng.Float64(), 0.8+0.2*g.rng.Float64())
+	skyBot := hsv(0.55, 0.15, 0.95)
+	horizon := sz.H/3 + g.rng.Intn(maxInt(sz.H/3, 1))
+	b.LinearGradientV(0, 0, sz.W, horizon, skyTop, skyBot)
+	ground := hsv(0.25+0.1*g.rng.Float64(), 0.4, 0.3+0.3*g.rng.Float64())
+	groundDark := color.RGBA{ground.R / 2, ground.G / 2, ground.B / 2, 255}
+	b.LinearGradientV(0, horizon, sz.W, sz.H, ground, groundDark)
+	// organic blobs: trees, rocks, clouds
+	blobs := 3 + g.rng.Intn(6)
+	for i := 0; i < blobs; i++ {
+		c := g.mutedPalette()
+		x := g.rng.Intn(sz.W)
+		y := horizon - sz.H/8 + g.rng.Intn(maxInt(sz.H/3, 1))
+		r := 3 + g.rng.Intn(maxInt(minInt(sz.W, sz.H)/8, 4))
+		b.FillCircle(x, y, r, c)
+	}
+	g.addNoise(b, 10)
+	return b
+}
+
+// renderUIScreenshot draws a page-chrome screenshot: nav bar, gray paragraph
+// text, thumbnails — the screenshot-crawler negatives of §4.4.1.
+func (g *Generator) renderUIScreenshot(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	b.Fill(color.RGBA{252, 252, 252, 255})
+	nav := hsv(g.rng.Float64(), 0.25, 0.35)
+	navH := clampInt(sz.H/8, 6, 28)
+	b.FillRect(0, 0, sz.W, navH, nav)
+	textC := color.RGBA{90, 90, 95, 255}
+	ty := navH + 6
+	lh := g.textLineHeight() + 3
+	for ty < sz.H-lh {
+		w := sz.W * (60 + g.rng.Intn(30)) / 100
+		g.drawTextLine(b, sz.W/20, ty, w, textC)
+		ty += lh
+	}
+	// a thumbnail image
+	if g.rng.Float64() < 0.6 && sz.W > 60 && sz.H > 60 {
+		tw := sz.W / 4
+		th := sz.H / 4
+		tx, tyy := sz.W-tw-8, navH+8
+		b.FillRect(tx, tyy, tx+tw, tyy+th, g.mutedPalette())
+	}
+	return b
+}
+
+// renderIcon draws a flat icon / logo: plain background, centered glyph.
+func (g *Generator) renderIcon(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	b.Fill(g.mutedPalette())
+	c := g.mutedPalette()
+	cx, cy := sz.W/2, sz.H/2
+	r := minInt(sz.W, sz.H) / 3
+	switch g.rng.Intn(3) {
+	case 0:
+		b.FillCircle(cx, cy, r, c)
+	case 1:
+		b.FillRect(cx-r, cy-r, cx+r, cy+r, c)
+	default:
+		b.FillTriangle(cx, cy-r, cx-r, cy+r, cx+r, cy+r, c)
+	}
+	return b
+}
+
+// renderPortrait draws a head-and-shoulders content image.
+func (g *Generator) renderPortrait(sz Size) *imaging.Bitmap {
+	b := imaging.NewBitmap(sz.W, sz.H)
+	bg := g.mutedPalette()
+	b.Fill(bg)
+	skin := color.RGBA{uint8(190 + g.rng.Intn(50)), uint8(140 + g.rng.Intn(50)), uint8(110 + g.rng.Intn(40)), 255}
+	cx := sz.W / 2
+	headR := minInt(sz.W, sz.H) / 5
+	headY := sz.H / 3
+	b.FillCircle(cx, headY, headR, skin)
+	// shoulders
+	b.FillRect(cx-headR*2, headY+headR, cx+headR*2, sz.H, hsv(g.rng.Float64(), 0.4, 0.4))
+	g.addNoise(b, 6)
+	return b
+}
+
+// drawAdChoices draws the AdChoices disclosure marker — a small blue chevron
+// in a light box at the top-right corner, the cue the paper's Grad-CAM shows
+// the network attending to (Fig. 4a).
+func (g *Generator) drawAdChoices(b *imaging.Bitmap) {
+	const box = 14
+	x0 := b.W - box - 1
+	y0 := 1
+	b.FillRect(x0, y0, x0+box, y0+box, color.RGBA{235, 240, 245, 230})
+	blue := color.RGBA{0, 100, 200, 255}
+	// chevron: triangle pointing right + arc hint
+	b.FillTriangle(x0+4, y0+3, x0+11, y0+7, x0+4, y0+11, blue)
+	b.FillCircle(x0+4, y0+7, 2, blue)
+}
+
+// textLineHeight returns the glyph row height for the style's script.
+func (g *Generator) textLineHeight() int {
+	switch g.style.Script {
+	case Han, Hangul:
+		return 6
+	default:
+		return 4
+	}
+}
+
+// drawTextLine renders one line of pseudo-text starting at (x, y) with the
+// given width. Glyph statistics depend on the script: Latin uses word blocks
+// of varying width; Arabic uses long connected strokes with diacritic dots;
+// Hangul and Han use dense square blocks.
+func (g *Generator) drawTextLine(b *imaging.Bitmap, x, y, w int, c color.RGBA) {
+	if w <= 0 {
+		return
+	}
+	switch g.style.Script {
+	case Arabic:
+		cx := x
+		for cx < x+w {
+			run := 8 + g.rng.Intn(18)
+			if cx+run > x+w {
+				run = x + w - cx
+			}
+			b.FillRect(cx, y+2, cx+run, y+4, c)
+			// diacritic dots above/below
+			dots := g.rng.Intn(3)
+			for d := 0; d < dots; d++ {
+				dx := cx + g.rng.Intn(maxInt(run, 1))
+				dy := y
+				if g.rng.Intn(2) == 0 {
+					dy = y + 5
+				}
+				b.Set(dx, dy, c)
+			}
+			cx += run + 3 + g.rng.Intn(4)
+		}
+	case Hangul, Han:
+		cx := x
+		side := 5
+		for cx+side <= x+w {
+			// square glyph block with internal gaps
+			b.FillRect(cx, y, cx+side, y+side, c)
+			b.Set(cx+1+g.rng.Intn(3), y+1+g.rng.Intn(3), color.RGBA{})
+			b.Set(cx+1+g.rng.Intn(3), y+1+g.rng.Intn(3), color.RGBA{})
+			cx += side + 1
+			if g.rng.Float64() < 0.08 {
+				cx += 3 // occasional space
+			}
+		}
+	default: // Latin
+		cx := x
+		for cx < x+w {
+			wordW := 4 + g.rng.Intn(12)
+			if cx+wordW > x+w {
+				wordW = x + w - cx
+			}
+			b.FillRect(cx, y, cx+wordW, y+3, c)
+			cx += wordW + 2 + g.rng.Intn(3)
+		}
+	}
+}
+
+// addNoise perturbs pixel values to give photographic texture.
+func (g *Generator) addNoise(b *imaging.Bitmap, amp int) {
+	for i := 0; i < len(b.Pix); i += 4 {
+		n := g.rng.Intn(2*amp+1) - amp
+		for c := 0; c < 3; c++ {
+			v := int(b.Pix[i+c]) + n
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			b.Pix[i+c] = uint8(v)
+		}
+		b.Pix[i+3] = 255
+	}
+}
+
+// hsv converts hue/saturation/value in [0,1] to an opaque RGBA color.
+func hsv(h, s, v float64) color.RGBA {
+	h = h - math.Floor(h)
+	i := int(h * 6)
+	f := h*6 - float64(i)
+	p := v * (1 - s)
+	q := v * (1 - f*s)
+	t := v * (1 - (1-f)*s)
+	var r, g, b float64
+	switch i % 6 {
+	case 0:
+		r, g, b = v, t, p
+	case 1:
+		r, g, b = q, v, p
+	case 2:
+		r, g, b = p, v, t
+	case 3:
+		r, g, b = p, q, v
+	case 4:
+		r, g, b = t, p, v
+	default:
+		r, g, b = v, p, q
+	}
+	return color.RGBA{uint8(r * 255), uint8(g * 255), uint8(b * 255), 255}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

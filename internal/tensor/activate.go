@@ -1,0 +1,84 @@
+package tensor
+
+import "math"
+
+// ReLUForward applies max(0,x) in place and returns a mask of which elements
+// were positive, for the backward pass.
+func ReLUForward(x *Tensor) (mask []bool) {
+	mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			x.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// ReLUBackward zeroes gradient entries where the forward input was <= 0.
+// dy is modified in place and returned.
+func ReLUBackward(dy *Tensor, mask []bool) *Tensor {
+	for i := range dy.Data {
+		if !mask[i] {
+			dy.Data[i] = 0
+		}
+	}
+	return dy
+}
+
+// Softmax computes a numerically-stable softmax over each row of a [N,C]
+// tensor, returning a new tensor.
+func Softmax(x *Tensor) *Tensor {
+	n, c := x.Shape[0], x.Shape[1]
+	y := New(n, c)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*c : (i+1)*c]
+		out := y.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			out[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return y
+}
+
+// CrossEntropyLoss computes the mean negative log-likelihood of the given
+// integer labels under softmax probabilities probs ([N,C]), plus the gradient
+// with respect to the pre-softmax logits: (p - onehot)/N. This fused form is
+// the standard classifier training loss.
+func CrossEntropyLoss(probs *Tensor, labels []int) (loss float64, dlogits *Tensor) {
+	n, c := probs.Shape[0], probs.Shape[1]
+	if len(labels) != n {
+		panic("tensor: label count mismatch")
+	}
+	dlogits = New(n, c)
+	invN := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		row := probs.Data[i*c : (i+1)*c]
+		grad := dlogits.Data[i*c : (i+1)*c]
+		p := row[labels[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		for j, v := range row {
+			grad[j] = v * invN
+		}
+		grad[labels[i]] -= invN
+	}
+	loss /= float64(n)
+	return loss, dlogits
+}

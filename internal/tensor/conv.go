@@ -1,0 +1,158 @@
+package tensor
+
+// ConvSpec describes a 2-D convolution (square kernels are the common case in
+// SqueezeNet but rectangular ones are supported).
+type ConvSpec struct {
+	InC, OutC  int
+	KH, KW     int
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*s.PadH-s.KH)/s.StrideH + 1
+	ow = (w+2*s.PadW-s.KW)/s.StrideW + 1
+	return oh, ow
+}
+
+// Im2col expands one image (C×H×W, a slice of a batch tensor) into the column
+// matrix used by GEMM convolution: shape [C*KH*KW, outH*outW], row-major into
+// col, which must have capacity for that many elements. Zero padding is
+// materialized as zeros.
+func Im2col(img []float32, c, h, w int, s ConvSpec, col []float32) (oh, ow int) {
+	oh, ow = s.OutSize(h, w)
+	rowLen := oh * ow
+	ri := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				dst := col[ri*rowLen : (ri+1)*rowLen]
+				di := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.StrideH - s.PadH + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowOff := chOff + iy*w
+					ix := -s.PadW + kx
+					for ox := 0; ox < ow; ox++ {
+						if ix >= 0 && ix < w {
+							dst[di] = img[rowOff+ix]
+						} else {
+							dst[di] = 0
+						}
+						di++
+						ix += s.StrideW
+					}
+				}
+				ri++
+			}
+		}
+	}
+	return oh, ow
+}
+
+// Col2im is the adjoint of Im2col: it scatters the column-matrix gradient
+// back into the (zero-initialized) image gradient buffer, accumulating where
+// receptive fields overlap.
+func Col2im(col []float32, c, h, w int, s ConvSpec, img []float32) {
+	oh, ow := s.OutSize(h, w)
+	rowLen := oh * ow
+	ri := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				src := col[ri*rowLen : (ri+1)*rowLen]
+				si := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.StrideH - s.PadH + ky
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowOff := chOff + iy*w
+					ix := -s.PadW + kx
+					for ox := 0; ox < ow; ox++ {
+						if ix >= 0 && ix < w {
+							img[rowOff+ix] += src[si]
+						}
+						si++
+						ix += s.StrideW
+					}
+				}
+				ri++
+			}
+		}
+	}
+}
+
+// ConvForward computes a batched convolution y = conv(x, w) + b using
+// im2col+GEMM, one GEMM per batch element. x is [N,C,H,W]; w is
+// [OutC, InC*KH*KW] flattened; b is [OutC] (may be nil); col is scratch of at
+// least InC*KH*KW*outH*outW elements. Returns [N,OutC,outH,outW].
+func ConvForward(x *Tensor, w, b []float32, s ConvSpec, col []float32) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, wd)
+	y := New(n, s.OutC, oh, ow)
+	k := s.InC * s.KH * s.KW
+	spatial := oh * ow
+	for i := 0; i < n; i++ {
+		img := x.Data[i*c*h*wd : (i+1)*c*h*wd]
+		Im2col(img, c, h, wd, s, col)
+		out := y.Data[i*s.OutC*spatial : (i+1)*s.OutC*spatial]
+		Gemm(w, col, out, s.OutC, k, spatial)
+		if b != nil {
+			for oc := 0; oc < s.OutC; oc++ {
+				bias := b[oc]
+				row := out[oc*spatial : (oc+1)*spatial]
+				for j := range row {
+					row[j] += bias
+				}
+			}
+		}
+	}
+	return y
+}
+
+// ConvBackward computes gradients for the im2col convolution. Given upstream
+// gradient dy ([N,OutC,outH,outW]), the stored input x and weights w, it
+// accumulates dW ([OutC, InC*KH*KW]) and db ([OutC]) and returns dx with x's
+// shape. col is scratch shared with the forward pass.
+func ConvBackward(x, dy *Tensor, w, dw, db []float32, s ConvSpec, col []float32) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, wd)
+	spatial := oh * ow
+	k := s.InC * s.KH * s.KW
+	dx := New(n, c, h, wd)
+	dcol := make([]float32, k*spatial)
+	for i := 0; i < n; i++ {
+		img := x.Data[i*c*h*wd : (i+1)*c*h*wd]
+		Im2col(img, c, h, wd, s, col)
+		g := dy.Data[i*s.OutC*spatial : (i+1)*s.OutC*spatial]
+		// dW += dY × colᵀ : [OutC, spatial] × [spatial, k] with col stored
+		// [k, spatial] row-major, i.e. A×Bᵀ.
+		GemmTBAcc(g, col, dw, s.OutC, spatial, k)
+		if db != nil {
+			for oc := 0; oc < s.OutC; oc++ {
+				row := g[oc*spatial : (oc+1)*spatial]
+				var sum float32
+				for _, v := range row {
+					sum += v
+				}
+				db[oc] += sum
+			}
+		}
+		// dcol = Wᵀ × dY : W stored [OutC, k] row-major → Aᵀ×B.
+		GemmTA(w, g, dcol, k, s.OutC, spatial)
+		Col2im(dcol, c, h, wd, s, dx.Data[i*c*h*wd:(i+1)*c*h*wd])
+	}
+	return dx
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the FLOP count above which GEMM fans out across
+// goroutines. Below it the goroutine overhead dominates.
+const gemmParallelThreshold = 1 << 16
+
+// Gemm computes C = A×B for row-major matrices. A is M×K, B is K×N and C is
+// M×N; C is overwritten. The inner loops are ordered (i,k,j) so the hot loop
+// streams both B and C rows sequentially, and the work is split across
+// goroutines by output-row blocks for large problems.
+func Gemm(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: Gemm buffer too small")
+	}
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	gemmAcc(a, b, c, m, k, n)
+}
+
+// GemmAcc computes C += A×B with the same layout as Gemm.
+func GemmAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmAcc buffer too small")
+	}
+	gemmAcc(a, b, c, m, k, n)
+}
+
+func gemmAcc(a, b, c []float32, m, k, n int) {
+	flops := m * k * n
+	workers := runtime.GOMAXPROCS(0)
+	if flops < gemmParallelThreshold || workers < 2 || m < 2 {
+		gemmRows(a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += rowsPer {
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows accumulates rows [lo,hi) of C += A×B.
+func gemmRows(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C = Aᵀ×B where A is K×M (so Aᵀ is M×K), B is K×N, C is M×N.
+func GemmTA(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	GemmTAAcc(a, b, c, m, k, n)
+}
+
+// GemmTAAcc computes C += Aᵀ×B with A stored K×M.
+func GemmTAAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmTA buffer too small")
+	}
+	// Iterate p (rows of A and B) outermost: both are streamed row-major.
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < gemmParallelThreshold || workers < 2 || m < 2 {
+		gemmTARows(a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += rowsPer {
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmTARows(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmTARows accumulates rows [lo,hi) of C += Aᵀ×B, with A stored K×M.
+func gemmTARows(a, b, c []float32, lo, hi, k, n int) {
+	m := len(a) / k
+	for i := lo; i < hi; i++ {
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C = A×Bᵀ where A is M×K, B is N×K, C is M×N.
+func GemmTB(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	GemmTBAcc(a, b, c, m, k, n)
+}
+
+// GemmTBAcc computes C += A×Bᵀ with B stored N×K. Each C element is a dot
+// product of an A row and a B row, both streamed sequentially.
+func GemmTBAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTB buffer too small")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < gemmParallelThreshold || workers < 2 || m < 2 {
+		gemmTBRows(a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += rowsPer {
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmTBRows(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func gemmTBRows(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var sum float32
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			crow[j] += sum
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import "math"
+
+// PoolSpec describes a 2-D pooling window.
+type PoolSpec struct {
+	K      int // window size (square)
+	Stride int
+	Pad    int
+}
+
+// OutSize returns the output spatial size of pooling an h×w input. Following
+// the convention used by SqueezeNet (ceil mode off), partial windows beyond
+// the padded edge are dropped.
+func (p PoolSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*p.Pad-p.K)/p.Stride + 1
+	ow = (w+2*p.Pad-p.K)/p.Stride + 1
+	return oh, ow
+}
+
+// MaxPoolForward computes max pooling over x ([N,C,H,W]) and records the
+// linear argmax index of each output element (into x.Data) so the backward
+// pass can route gradients. Padded positions are -inf and never win.
+func MaxPoolForward(x *Tensor, p PoolSpec) (y *Tensor, argmax []int32) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	y = New(n, c, oh, ow)
+	argmax = make([]int32, y.Len())
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bi := int32(-1)
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := x.Data[plane+iy*w+ix]
+							if v > best {
+								best = v
+								bi = int32(plane + iy*w + ix)
+							}
+						}
+					}
+					y.Data[oi] = best
+					argmax[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return y, argmax
+}
+
+// MaxPoolBackward scatters dy back to the winning input positions.
+func MaxPoolBackward(dy *Tensor, argmax []int32, inShape []int) *Tensor {
+	dx := New(inShape...)
+	for i, g := range dy.Data {
+		if a := argmax[i]; a >= 0 {
+			dx.Data[a] += g
+		}
+	}
+	return dx
+}
+
+// AvgPoolForward computes average pooling over x ([N,C,H,W]). The divisor is
+// the full window area (count_include_pad=false is not needed because the
+// network only average-pools unpadded).
+func AvgPoolForward(x *Tensor, p PoolSpec) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	y := New(n, c, oh, ow)
+	inv := 1 / float32(p.K*p.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += x.Data[plane+iy*w+ix]
+						}
+					}
+					y.Data[oi] = sum * inv
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// AvgPoolBackward distributes dy uniformly over each pooling window.
+func AvgPoolBackward(dy *Tensor, p PoolSpec, inShape []int) *Tensor {
+	dx := New(inShape...)
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	oh, ow := p.OutSize(h, w)
+	inv := 1 / float32(p.K*p.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dy.Data[oi] * inv
+					oi++
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dx.Data[plane+iy*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// GlobalAvgPoolForward averages each channel plane to a single value,
+// producing [N,C,1,1]. This is SqueezeNet's classifier head reduction.
+func GlobalAvgPoolForward(x *Tensor) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := New(n, c, 1, 1)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		var sum float32
+		for _, v := range plane {
+			sum += v
+		}
+		y.Data[i] = sum * inv
+	}
+	return y
+}
+
+// GlobalAvgPoolBackward spreads each channel gradient uniformly over the
+// input plane.
+func GlobalAvgPoolBackward(dy *Tensor, inShape []int) *Tensor {
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	dx := New(inShape...)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		g := dy.Data[i] * inv
+		plane := dx.Data[i*h*w : (i+1)*h*w]
+		for j := range plane {
+			plane[j] = g
+		}
+	}
+	return dx
+}

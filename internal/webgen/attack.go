@@ -1,0 +1,68 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"percival/internal/imaging"
+	"percival/internal/synth"
+)
+
+// GenerateAttackPage builds one §2.2/§7 evasion page: every ad creative is
+// covered by an absolutely-positioned perturbation overlay (the CSS-mask
+// construct from Tramèr et al.'s attacks on element- and frame-based
+// perceptual blockers). A blocker that screenshots rendered element boxes
+// sees ad+mask composites; PERCIVAL, reading decoded frames from the
+// pipeline, sees the unmodified creative.
+func (c *Corpus) GenerateAttackPage(idx int) *Page {
+	rng := rand.New(rand.NewSource(c.seed ^ int64(hashString(fmt.Sprintf("attack:%d", idx)))))
+	site := &Site{Domain: fmt.Sprintf("hostile%d.example", idx), Rank: 900 + idx, Category: "news", Lang: "english"}
+	url := fmt.Sprintf("http://%s/index.html", site.Domain)
+	page := &Page{URL: url, Site: site}
+	style := synth.CrawlStyle()
+	style.HardAdFrac = 0 // clean ads: the evasion comes from the overlay
+
+	var html htmlBuilder
+	html.open("html")
+	html.open("body")
+	contentImgs := 2 + rng.Intn(2)
+	for i := 0; i < contentImgs; i++ {
+		imgURL := fmt.Sprintf("http://%s/img/%d.jpg", site.Domain, i)
+		spec := &ImageSpec{
+			URL: imgURL, IsAd: false, Kind: KindContent,
+			Seed:        c.seed ^ int64(hashString(imgURL)),
+			Style:       style,
+			LoadDelayMS: 20 + rng.Float64()*80,
+			Format:      imaging.JPEG,
+		}
+		c.images[imgURL] = spec
+		page.Images = append(page.Images, spec)
+		html.openAttrs("div", `class="article-body"`)
+		html.void("img", fmt.Sprintf(`src=%q`, imgURL))
+		html.close("div")
+	}
+	adSlots := 2 + rng.Intn(2)
+	for i := 0; i < adSlots; i++ {
+		imgURL := fmt.Sprintf("http://%s/promo/a%d.png", site.Domain, i)
+		spec := &ImageSpec{
+			URL: imgURL, IsAd: true, Kind: KindFirstPartyAd,
+			Seed:        c.seed ^ int64(hashString(imgURL)),
+			Style:       style,
+			LoadDelayMS: 30 + rng.Float64()*100,
+			Format:      imaging.PNG,
+		}
+		c.images[imgURL] = spec
+		page.Images = append(page.Images, spec)
+		html.openAttrs("div", fmt.Sprintf(`class=%q`, obfuscatedClass(rng)))
+		html.void("img", fmt.Sprintf(`src=%q`, imgURL))
+		// the mask: painted after, positioned exactly over the creative
+		html.openAttrs("div", `data-overlay="prev" class="mask"`)
+		html.close("div")
+		html.close("div")
+	}
+	html.close("body")
+	html.close("html")
+	page.HTML = html.String()
+	c.RegisterPage(page)
+	return page
+}

@@ -1,0 +1,98 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"percival/internal/imaging"
+	"percival/internal/synth"
+)
+
+// FacebookDomain is the synthetic social site's origin. All of its content,
+// including ads, is first-party — the configuration that defeats filter
+// lists (§5.3).
+const FacebookDomain = "facebook.example"
+
+// PostKind classifies feed units.
+type PostKind int
+
+// Feed unit kinds. BrandPost is organic content from a brand page — the
+// paper's main false-positive source (Fig. 11a shows a Dell page post).
+const (
+	OrganicPost PostKind = iota
+	SponsoredPost
+	BrandPost
+	RightColumnAd
+)
+
+// FeedSession is one simulated browsing session (§5.3 browses daily for 35
+// days): a feed page with organic posts, sponsored units and right-column
+// ads, every signature obfuscated.
+type FeedSession struct {
+	Page  *Page
+	Kinds map[string]PostKind // image URL -> unit kind
+}
+
+// GenerateFeedSession builds one Facebook browsing session. Session numbers
+// give distinct content day to day while remaining deterministic.
+func (c *Corpus) GenerateFeedSession(session int) *FeedSession {
+	rng := rand.New(rand.NewSource(c.seed ^ int64(session)*104729))
+	site := &Site{Domain: FacebookDomain, Rank: 3, Category: "social", Lang: "english"}
+	url := fmt.Sprintf("http://%s/feed/session%d", FacebookDomain, session)
+	fs := &FeedSession{Kinds: map[string]PostKind{}}
+	style := synth.FacebookStyle()
+
+	var html htmlBuilder
+	html.open("html")
+	html.open("body")
+
+	page := &Page{URL: url, Site: site}
+
+	addUnit := func(kind PostKind, i int, isAd bool) {
+		imgURL := fmt.Sprintf("http://%s/photos/s%d-%d.jpg", FacebookDomain, session, i)
+		spec := &ImageSpec{
+			URL: imgURL, IsAd: isAd, Kind: KindFirstPartyAd,
+			Seed:        c.seed ^ int64(hashString(imgURL)),
+			Style:       style,
+			LoadDelayMS: 40 + rng.Float64()*200,
+			Format:      imaging.JPEG,
+		}
+		if !isAd {
+			spec.Kind = KindContent
+		}
+		page.Images = append(page.Images, spec)
+		fs.Kinds[imgURL] = kind
+		// obfuscated container class: rule-based hiding has nothing stable
+		// to anchor on ("the ad post code now looks identical to normal
+		// posts").
+		html.openAttrs("div", fmt.Sprintf(`class=%q`, obfuscatedClass(rng)))
+		html.void("img", fmt.Sprintf(`src=%q`, imgURL))
+		html.close("div")
+	}
+
+	// right column: two ad units per session
+	unit := 0
+	for i := 0; i < 2; i++ {
+		addUnit(RightColumnAd, unit, true)
+		unit++
+	}
+	// feed: ~15 posts; roughly 1 in 6 sponsored, 1 in 8 from brand pages
+	posts := 13 + rng.Intn(5)
+	for i := 0; i < posts; i++ {
+		switch {
+		case rng.Float64() < 0.17:
+			addUnit(SponsoredPost, unit, true)
+		case rng.Float64() < 0.12:
+			addUnit(BrandPost, unit, false)
+		default:
+			addUnit(OrganicPost, unit, false)
+		}
+		unit++
+	}
+	html.close("body")
+	html.close("html")
+	page.HTML = html.String()
+	fs.Page = page
+	c.RegisterPage(page)
+	return fs
+}

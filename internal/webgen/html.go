@@ -1,0 +1,33 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// htmlBuilder assembles markup with minimal ceremony.
+type htmlBuilder struct {
+	sb strings.Builder
+}
+
+func (h *htmlBuilder) open(tag string) {
+	h.sb.WriteString("<" + tag + ">")
+}
+
+func (h *htmlBuilder) openAttrs(tag, attrs string) {
+	fmt.Fprintf(&h.sb, "<%s %s>", tag, attrs)
+}
+
+func (h *htmlBuilder) void(tag, attrs string) {
+	fmt.Fprintf(&h.sb, "<%s %s>", tag, attrs)
+}
+
+func (h *htmlBuilder) close(tag string) {
+	h.sb.WriteString("</" + tag + ">")
+}
+
+func (h *htmlBuilder) text(s string) {
+	h.sb.WriteString(s)
+}
+
+func (h *htmlBuilder) String() string { return h.sb.String() }

@@ -1,0 +1,131 @@
+// Package zoo provides the comparison models from the paper's §4.2 and §7:
+// the standard image classifiers the authors tried and rejected for being
+// too large or too slow (Inception, ResNet, AlexNet, VGG), the YOLO-based
+// Sentinel system, and the SqueezeNet family. Parameter counts are
+// architecture arithmetic (published layer plans); latency comparisons come
+// from runnable stand-in networks with equivalent depth/width built on the
+// same inference engine as PERCIVAL, so relative speed is apples-to-apples.
+package zoo
+
+import (
+	"math/rand"
+
+	"percival/internal/nn"
+	"percival/internal/squeezenet"
+	"percival/internal/tensor"
+)
+
+// ModelInfo describes one comparison point.
+type ModelInfo struct {
+	Name string
+	// Params is the canonical parameter count of the published architecture.
+	Params int
+	// SizeMB is the float32 weight footprint in megabytes.
+	SizeMB float64
+	// Deployable reflects the paper's 5 MB mobile-deployment threshold
+	// ("models over 5 MB in size become hard to deploy on mobile devices").
+	Deployable bool
+}
+
+// MobileDeployableMB is the deployment threshold the paper cites.
+const MobileDeployableMB = 5.0
+
+func info(name string, params int) ModelInfo {
+	sizeMB := float64(params) * 4 / (1 << 20)
+	return ModelInfo{Name: name, Params: params, SizeMB: sizeMB, Deployable: sizeMB < MobileDeployableMB}
+}
+
+// Catalog returns the published comparison models, largest first, with the
+// PERCIVAL fork appended from its actual built size.
+func Catalog() []ModelInfo {
+	fork, err := squeezenet.Build(squeezenet.PaperConfig())
+	forkParams := 0
+	if err == nil {
+		forkParams = nn.ParamCount(fork)
+	}
+	orig := squeezenet.BuildOriginal(squeezenet.OriginalSqueezeNet())
+	return []ModelInfo{
+		info("VGG-16", 138_357_544),
+		info("YOLOv2 (Sentinel)", 58_000_000), // ~235 MB model file, §7
+		info("Inception-V4", 42_679_816),
+		info("AlexNet", 60_965_224),
+		info("ResNet-52", 25_600_000), // ResNet-50-class, §4.2
+		info("SqueezeNet (original)", nn.ParamCount(orig)),
+		info("PERCIVAL fork", forkParams),
+	}
+}
+
+// CompressionFactor returns how many times smaller PERCIVAL's model is than
+// the named baseline (the paper reports 74× versus Sentinel-class models,
+// counting its fp16-compressed on-disk form).
+func CompressionFactor(baseline string, compressed bool) float64 {
+	var base, fork float64
+	for _, m := range Catalog() {
+		switch m.Name {
+		case baseline:
+			base = m.SizeMB
+		case "PERCIVAL fork":
+			fork = m.SizeMB
+		}
+	}
+	if compressed {
+		fork /= 2 // fp16 serialization halves the footprint
+	}
+	if fork == 0 {
+		return 0
+	}
+	return base / fork
+}
+
+// StandIn identifies a runnable latency stand-in.
+type StandIn string
+
+// Runnable stand-ins with depth/width comparable to the named families.
+const (
+	StandInResNetClass    StandIn = "resnet-class"
+	StandInInceptionClass StandIn = "inception-class"
+	StandInYOLOClass      StandIn = "yolo-class"
+)
+
+// BuildStandIn constructs a plain convolutional network whose FLOP budget at
+// the given input resolution approximates the named family, on the same
+// engine as PERCIVAL. These are for latency comparison only (random
+// weights); they are not trainable replicas.
+func BuildStandIn(kind StandIn, inChannels int) *nn.Sequential {
+	var plan []int // output channels per 3×3 stage; pool every other stage
+	switch kind {
+	case StandInResNetClass:
+		plan = []int{64, 64, 128, 128, 256, 256, 512, 512}
+	case StandInInceptionClass:
+		plan = []int{64, 96, 128, 192, 256, 320}
+	case StandInYOLOClass:
+		plan = []int{64, 128, 256, 512, 512, 1024, 1024}
+	default:
+		plan = []int{32, 64}
+	}
+	var layers []nn.Layer
+	in := inChannels
+	for i, out := range plan {
+		layers = append(layers,
+			nn.NewConv2D(nameFor(kind, i), tensor.ConvSpec{
+				InC: in, OutC: out, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			}),
+			nn.NewReLU(nameFor(kind, i)+".relu"),
+		)
+		if i%2 == 1 {
+			layers = append(layers, nn.NewMaxPool(nameFor(kind, i)+".pool", 2, 2))
+		}
+		in = out
+	}
+	layers = append(layers,
+		nn.NewConv2D(string(kind)+".head", tensor.ConvSpec{InC: in, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		nn.NewGlobalAvgPool(string(kind)+".gap"),
+	)
+	net := nn.NewSequential(layers...)
+	nn.InitHe(net, rand.New(rand.NewSource(0xB16)))
+	return net
+}
+
+func nameFor(kind StandIn, i int) string {
+	return string(kind) + ".conv" + string(rune('0'+i))
+}

@@ -1,0 +1,99 @@
+package zoo
+
+import (
+	"testing"
+	"time"
+
+	"percival/internal/imaging"
+	"percival/internal/nn"
+	"percival/internal/squeezenet"
+)
+
+func TestCatalogOrdering(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 7 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	byName := map[string]ModelInfo{}
+	for _, m := range cat {
+		byName[m.Name] = m
+		if m.Params <= 0 {
+			t.Fatalf("%s has no params", m.Name)
+		}
+	}
+	fork := byName["PERCIVAL fork"]
+	orig := byName["SqueezeNet (original)"]
+	yolo := byName["YOLOv2 (Sentinel)"]
+	if !(fork.SizeMB < orig.SizeMB && orig.SizeMB < yolo.SizeMB) {
+		t.Fatalf("size ordering wrong: fork %.2f orig %.2f yolo %.2f", fork.SizeMB, orig.SizeMB, yolo.SizeMB)
+	}
+	// deployability threshold: fork and original SqueezeNet fit, big nets don't
+	if !fork.Deployable || !orig.Deployable {
+		t.Fatal("SqueezeNet family must be mobile-deployable")
+	}
+	if byName["VGG-16"].Deployable || yolo.Deployable {
+		t.Fatal("heavyweight models must not be deployable")
+	}
+}
+
+func TestCompressionFactorMatchesPaperScale(t *testing.T) {
+	// Paper: "smaller by factor of 74, compared to other models of this
+	// kind" (Sentinel, YOLO-based). With fp16 compression our fork is
+	// ~0.86 MB vs ~221 MB — well past 74×; the uncompressed ratio is ~128×.
+	f := CompressionFactor("YOLOv2 (Sentinel)", true)
+	if f < 74 {
+		t.Fatalf("compressed factor %.0f, paper reports 74", f)
+	}
+	raw := CompressionFactor("YOLOv2 (Sentinel)", false)
+	if raw <= 1 || raw >= f {
+		t.Fatalf("raw factor %.0f inconsistent with compressed %.0f", raw, f)
+	}
+	if CompressionFactor("no-such-model", false) != 0 {
+		t.Fatal("unknown baseline should be 0")
+	}
+}
+
+func TestStandInsRunAndRank(t *testing.T) {
+	// Latency ordering at a small resolution: percival fork < resnet-class
+	// < yolo-class. Use one warmup plus a best-of-3 to reduce noise.
+	res := 32
+	fork, err := squeezenet.Build(squeezenet.SmallConfig(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	squeezenet.PretrainedInit(fork, 1)
+	resnet := BuildStandIn(StandInResNetClass, 4)
+	yolo := BuildStandIn(StandInYOLOClass, 4)
+
+	frame := imaging.NewBitmap(300, 250)
+	x := imaging.PrepareInput(frame, res)
+	timeOf := func(net *nn.Sequential) time.Duration {
+		net.Forward(x.Clone(), false) // warmup
+		best := time.Hour
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			net.Forward(x.Clone(), false)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	tFork := timeOf(fork)
+	tRes := timeOf(resnet)
+	tYolo := timeOf(yolo)
+	if !(tFork < tRes && tRes < tYolo) {
+		t.Fatalf("latency ordering violated: fork %v resnet %v yolo %v", tFork, tRes, tYolo)
+	}
+}
+
+func TestStandInShapes(t *testing.T) {
+	for _, kind := range []StandIn{StandInResNetClass, StandInInceptionClass, StandInYOLOClass, StandIn("other")} {
+		net := BuildStandIn(kind, 4)
+		x := imaging.PrepareInput(imaging.NewBitmap(64, 64), 32)
+		y := net.Forward(x, false)
+		if y.Shape[1] != 2 {
+			t.Fatalf("%s: output %v", kind, y.Shape)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package percival
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"percival/internal/synth"
+)
+
+func TestQuickTrainDefaultsAndClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	clf, arch, err := QuickTrain(QuickTrainOptions{Samples: 600, Epochs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.InputRes != 32 {
+		t.Fatalf("default res %d", arch.InputRes)
+	}
+	g := synth.NewGenerator(9, synth.CrawlStyle())
+	correct := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		img, label := g.Sample()
+		if clf.IsAd(img) == (label == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.75 {
+		t.Fatalf("quick-trained accuracy %v", acc)
+	}
+}
+
+func TestSaveAndLoadModelRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	clf, _, err := QuickTrain(QuickTrainOptions{Res: 16, Samples: 60, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = clf
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.pcvl")
+
+	net, _, err := TrainNetwork(QuickTrainOptions{Res: 16, Samples: 60, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModel(path, net, true); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path, SmallArch(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synth.NewGenerator(3, synth.CrawlStyle())
+	img, _ := g.Sample()
+	p := loaded.Classify(img)
+	if p < 0 || p > 1 {
+		t.Fatalf("probability %v", p)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/model.pcvl", SmallArch(16), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAttachToBrowserConfigurations(t *testing.T) {
+	corpus := NewCorpus(11, 3)
+	// baseline (no classifier)
+	b, err := AttachToBrowser(nil, BrowserOptions{Corpus: corpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Render(corpus.Sites[0].PageURLs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Surface == nil {
+		t.Fatal("no surface")
+	}
+	// shields with synthetic list
+	b2, err := AttachToBrowser(nil, BrowserOptions{Corpus: corpus, Shields: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Render(corpus.Sites[0].PageURLs[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	// validation
+	if _, err := AttachToBrowser(nil, BrowserOptions{}); err == nil {
+		t.Fatal("nil corpus must fail")
+	}
+	if _, err := AttachToBrowser(nil, BrowserOptions{Corpus: corpus, Shields: true, FilterList: "$badoption"}); err == nil {
+		t.Fatal("broken filter list must fail")
+	}
+}
+
+func TestPaperArchProperties(t *testing.T) {
+	arch := PaperArch()
+	if arch.InputRes != 224 || arch.InChannels != 4 || len(arch.Fires) != 6 {
+		t.Fatalf("paper arch %+v", arch)
+	}
+}
