@@ -1,0 +1,30 @@
+# Development targets. `make check` is the gate every change must pass: it
+# includes a race-detector run over the packages that share the GEMM worker
+# pool and the inference arena.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-infer
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/core/...
+
+# Full benchmark sweep (slow: regenerates every paper figure).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Just the inference-latency trajectory (see PERFORMANCE.md).
+bench-infer:
+	$(GO) test -run=NONE -bench='BenchmarkInferSingle|BenchmarkInferBatch' -benchmem .
+	$(GO) test -run=NONE -bench=BenchmarkGemm -benchtime=1s ./internal/tensor/

@@ -1,0 +1,3 @@
+module percival
+
+go 1.22

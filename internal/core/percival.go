@@ -65,6 +65,11 @@ type Percival struct {
 
 	cache *verdictCache
 
+	// states recycles warm per-goroutine inference state (arena + scaled
+	// frame buffer) across frames, so steady-state classification performs
+	// no heap allocation. One state is checked out per concurrent Classify.
+	states sync.Pool
+
 	// async bookkeeping
 	pending sync.WaitGroup
 
@@ -101,34 +106,86 @@ func New(net *nn.Sequential, cfg squeezenet.Config, opts Options) (*Percival, er
 	}, nil
 }
 
-// Classify runs the model on a decoded frame and returns the ad
-// probability. Safe for concurrent use.
-func (p *Percival) Classify(frame *imaging.Bitmap) float64 {
-	start := time.Now()
-	x := imaging.PrepareInput(frame, p.cfg.InputRes)
-	probs := nn.Predict(p.net, x)
-	p.classified.Add(1)
-	p.totalNanos.Add(time.Since(start).Nanoseconds())
-	return float64(probs.Data[1]) // class 1 = ad
+// inferState bundles the reusable per-goroutine inference resources: a warm
+// tensor arena holding every buffer one forward pass needs, plus the scaled
+// bitmap the pre-processing writes into.
+type inferState struct {
+	arena  *tensor.Arena
+	scaled *imaging.Bitmap
 }
 
-// ClassifyBatch scores a batch of frames in one forward pass.
+func (p *Percival) getState() *inferState {
+	if st, ok := p.states.Get().(*inferState); ok {
+		return st
+	}
+	return &inferState{
+		arena:  tensor.GetArena(),
+		scaled: imaging.NewBitmap(p.cfg.InputRes, p.cfg.InputRes),
+	}
+}
+
+func (p *Percival) putState(st *inferState) { p.states.Put(st) }
+
+// Classify runs the model on a decoded frame and returns the ad
+// probability. Safe for concurrent use; steady-state calls allocate nothing
+// (pre-processing, intermediates, and probabilities all come from a warm
+// arena kept across frames).
+func (p *Percival) Classify(frame *imaging.Bitmap) float64 {
+	start := time.Now()
+	st := p.getState()
+	res := p.cfg.InputRes
+	imaging.ResizeBilinearInto(frame, st.scaled)
+	x := st.arena.GetTensor(1, 4, res, res)
+	imaging.ToTensorInto(st.scaled, x.Data)
+	probs := nn.PredictArena(p.net, x, st.arena)
+	score := float64(probs.Data[1]) // class 1 = ad
+	st.arena.PutTensor(probs)
+	st.arena.PutTensor(x)
+	p.putState(st)
+	p.classified.Add(1)
+	p.totalNanos.Add(time.Since(start).Nanoseconds())
+	return score
+}
+
+// classifyBatchChunk caps the frames per forward pass in ClassifyBatch.
+// Activation buffers scale with batch size and the warm arena retains its
+// high-water mark, so an unbounded batch (a 100-image search page at paper
+// resolution) would pin hundreds of MB; chunking keeps the pre-processing
+// amortization while bounding the arena to a fixed footprint.
+const classifyBatchChunk = 16
+
+// ClassifyBatch scores a set of frames in chunked batched forward passes,
+// amortizing pre-processing through the same warm arena and scaled-frame
+// buffer that Classify uses.
 func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
 	if len(frames) == 0 {
 		return nil
 	}
 	start := time.Now()
-	scaled := make([]*imaging.Bitmap, len(frames))
-	for i, f := range frames {
-		scaled[i] = imaging.ResizeBilinear(f, p.cfg.InputRes, p.cfg.InputRes)
-	}
-	x := imaging.BatchToTensor(scaled)
-	probs := nn.Predict(p.net, x)
+	st := p.getState()
+	res := p.cfg.InputRes
+	per := 4 * res * res
 	out := make([]float64, len(frames))
-	k := probs.Shape[1]
-	for i := range frames {
-		out[i] = float64(probs.Data[i*k+1])
+	for lo := 0; lo < len(frames); lo += classifyBatchChunk {
+		hi := lo + classifyBatchChunk
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		chunk := frames[lo:hi]
+		x := st.arena.GetTensor(len(chunk), 4, res, res)
+		for i, f := range chunk {
+			imaging.ResizeBilinearInto(f, st.scaled)
+			imaging.ToTensorInto(st.scaled, x.Data[i*per:(i+1)*per])
+		}
+		probs := nn.PredictArena(p.net, x, st.arena)
+		k := probs.Shape[1]
+		for i := range chunk {
+			out[lo+i] = float64(probs.Data[i*k+1])
+		}
+		st.arena.PutTensor(probs)
+		st.arena.PutTensor(x)
 	}
+	p.putState(st)
 	p.classified.Add(int64(len(frames)))
 	p.totalNanos.Add(time.Since(start).Nanoseconds())
 	return out
@@ -137,6 +194,18 @@ func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
 // IsAd applies the decision threshold to a frame.
 func (p *Percival) IsAd(frame *imaging.Bitmap) bool {
 	return p.Classify(frame) >= p.opts.Threshold
+}
+
+// IsAdBatch applies the decision threshold to a batch scored via
+// ClassifyBatch (chunked forward passes over a warm arena) — the batched
+// counterpart of IsAd, sharing its verdict rule.
+func (p *Percival) IsAdBatch(frames []*imaging.Bitmap) []bool {
+	scores := p.ClassifyBatch(frames)
+	verdicts := make([]bool, len(scores))
+	for i, s := range scores {
+		verdicts[i] = s >= p.opts.Threshold
+	}
+	return verdicts
 }
 
 // InspectFrame implements raster.FrameInspector — PERCIVAL's attachment

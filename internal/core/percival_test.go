@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"image/color"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -267,5 +268,73 @@ func TestBlockedFrameClearedByRaster(t *testing.T) {
 	b.Clear()
 	if !b.IsCleared() {
 		t.Fatal("clear failed")
+	}
+}
+
+// TestClassifyZeroAllocSteadyState verifies the warm-arena classify path:
+// after the first frame builds the arena, classification allocates nothing
+// (GOMAXPROCS pinned to 1 so the GEMM fan-out stays inline; multi-core runs
+// add only the worker-pool's per-call scheduling allocations).
+func TestClassifyZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	p := testService(t, Options{})
+	frame := adLike(t)
+	p.Classify(frame) // warm the arena and scaled-frame buffer
+	allocs := testing.AllocsPerRun(10, func() { p.Classify(frame) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Classify allocates %v times per frame, want 0", allocs)
+	}
+}
+
+// TestClassifyConcurrentConsistent hammers Classify from many goroutines
+// (each checks out its own pooled inference state) and checks every score
+// matches the serial result; run under -race to verify the state pooling.
+func TestClassifyConcurrentConsistent(t *testing.T) {
+	p := testService(t, Options{})
+	frame := adLike(t)
+	want := p.Classify(frame)
+	var wg sync.WaitGroup
+	errs := make(chan float64, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if got := p.Classify(frame); got != want {
+					errs <- got
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if got, bad := <-errs; bad {
+		t.Fatalf("concurrent Classify returned %v, serial %v", got, want)
+	}
+}
+
+// TestClassifyBatchChunking checks batches larger than the internal chunk
+// size (16) still score every frame identically to single-frame classify.
+func TestClassifyBatchChunking(t *testing.T) {
+	p := testService(t, Options{})
+	g := synth.NewGenerator(9, synth.CrawlStyle())
+	frames := make([]*imaging.Bitmap, 2*classifyBatchChunk+3)
+	for i := range frames {
+		frames[i], _ = g.Sample()
+	}
+	batch := p.ClassifyBatch(frames)
+	if len(batch) != len(frames) {
+		t.Fatalf("got %d scores for %d frames", len(batch), len(frames))
+	}
+	for _, i := range []int{0, classifyBatchChunk - 1, classifyBatchChunk, len(frames) - 1} {
+		single := p.Classify(frames[i])
+		if diff := batch[i] - single; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("frame %d: batch %v single %v", i, batch[i], single)
+		}
 	}
 }

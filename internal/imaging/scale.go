@@ -7,9 +7,18 @@ import "percival/internal/tensor"
 // the image, scales it to 224×224×4 ... creates a tensor" (§3.3).
 func ResizeBilinear(src *Bitmap, w, h int) *Bitmap {
 	dst := NewBitmap(w, h)
+	ResizeBilinearInto(src, dst)
+	return dst
+}
+
+// ResizeBilinearInto scales src into the pre-allocated dst bitmap, whose
+// dimensions select the output size. It allocates nothing, so per-frame
+// pre-processing can reuse one destination across frames.
+func ResizeBilinearInto(src, dst *Bitmap) {
+	w, h := dst.W, dst.H
 	if src.W == w && src.H == h {
 		copy(dst.Pix, src.Pix)
-		return dst
+		return
 	}
 	xRatio := float64(src.W-1) / float64(maxInt(w-1, 1))
 	yRatio := float64(src.H-1) / float64(maxInt(h-1, 1))
@@ -41,24 +50,36 @@ func ResizeBilinear(src *Bitmap, w, h int) *Bitmap {
 			}
 		}
 	}
-	return dst
 }
 
 // ToTensor converts a bitmap into a [1,4,H,W] network input, scaling pixel
 // values to [0,1]. Channel order is RGBA, matching the decoded buffer layout.
 func ToTensor(b *Bitmap) *tensor.Tensor {
 	t := tensor.New(1, 4, b.H, b.W)
-	plane := b.H * b.W
-	for y := 0; y < b.H; y++ {
-		for x := 0; x < b.W; x++ {
-			si := (y*b.W + x) * 4
-			pi := y*b.W + x
-			for c := 0; c < 4; c++ {
-				t.Data[c*plane+pi] = float32(b.Pix[si+c]) / 255
-			}
-		}
-	}
+	ToTensorInto(b, t.Data)
 	return t
+}
+
+// ToTensorInto writes the [4,H,W] float planes of one bitmap into dst
+// (length >= 4*H*W) without allocating — the per-sample body of ToTensor and
+// of batched tensor assembly.
+func ToTensorInto(b *Bitmap, dst []float32) {
+	plane := b.H * b.W
+	if len(dst) < 4*plane {
+		panic("imaging: ToTensorInto dst too small")
+	}
+	const inv = float32(1) / 255
+	r := dst[:plane]
+	g := dst[plane : 2*plane]
+	bl := dst[2*plane : 3*plane]
+	a := dst[3*plane : 4*plane]
+	for pi := 0; pi < plane; pi++ {
+		si := pi * 4
+		r[pi] = float32(b.Pix[si]) * inv
+		g[pi] = float32(b.Pix[si+1]) * inv
+		bl[pi] = float32(b.Pix[si+2]) * inv
+		a[pi] = float32(b.Pix[si+3]) * inv
+	}
 }
 
 // BatchToTensor stacks same-sized bitmaps into an [N,4,H,W] batch.
@@ -73,8 +94,7 @@ func BatchToTensor(bs []*Bitmap) *tensor.Tensor {
 		if b.H != h || b.W != w {
 			panic("imaging: batch bitmaps must share dimensions")
 		}
-		one := ToTensor(b)
-		copy(t.Data[i*per:(i+1)*per], one.Data)
+		ToTensorInto(b, t.Data[i*per:(i+1)*per])
 	}
 	return t
 }

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"percival/internal/tensor"
+)
+
+// buildTestNet assembles a miniature PERCIVAL-style stack covering every
+// layer type the infer path special-cases: stem conv+ReLU, max pool, a fire
+// module, dropout, classifier conv, and global average pooling.
+func buildTestNet(t *testing.T) *Sequential {
+	t.Helper()
+	net := NewSequential(
+		NewConv2D("conv1", tensor.ConvSpec{InC: 3, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}),
+		NewReLU("relu1"),
+		NewMaxPool("pool1", 2, 2),
+		NewFire("fire1", 8, 4, 6, 6),
+		NewDropout("drop", 0.5, 7),
+		NewConv2D("conv_final", tensor.ConvSpec{InC: 12, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		NewGlobalAvgPool("gap"),
+	)
+	InitHe(net, rand.New(rand.NewSource(3)))
+	return net
+}
+
+// TestForwardInferMatchesForward checks the arena path (fused conv+ReLU,
+// direct-to-concat fire branches, pooled scratch) is numerically identical
+// to the reference Layer.Forward path.
+func TestForwardInferMatchesForward(t *testing.T) {
+	net := buildTestNet(t)
+	rng := rand.New(rand.NewSource(4))
+	for _, batch := range []int{1, 3} {
+		x := tensor.New(batch, 3, 12, 12)
+		for i := range x.Data {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+		want := net.Forward(x.Clone(), false)
+		a := tensor.NewArena()
+		got := net.ForwardInfer(x, a)
+		if !got.SameShape(want) {
+			t.Fatalf("shape %v want %v", got.Shape, want.Shape)
+		}
+		for i := range got.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4*(1+math.Abs(float64(want.Data[i]))) {
+				t.Fatalf("batch %d: y[%d]=%v want %v", batch, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestPredictMatchesPredictArena checks the two public prediction paths
+// agree and that Predict's returned tensor is caller-owned (mutating it must
+// not corrupt later predictions).
+func TestPredictMatchesPredictArena(t *testing.T) {
+	net := buildTestNet(t)
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(2, 3, 12, 12)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	p1 := Predict(net, x)
+	p1.Fill(-99) // caller-owned: scribbling must be harmless
+	a := tensor.NewArena()
+	p2 := PredictArena(net, x, a)
+	p3 := Predict(net, x)
+	for i := range p3.Data {
+		if math.Abs(float64(p2.Data[i]-p3.Data[i])) > 1e-6 {
+			t.Fatalf("probs[%d]: arena %v predict %v", i, p2.Data[i], p3.Data[i])
+		}
+	}
+}
+
+// TestForwardInferZeroAllocSteadyState verifies that once the arena is warm,
+// a forward pass performs no heap allocation. GOMAXPROCS is pinned to 1 so
+// the GEMM worker fan-out (which allocates a closure per call) stays inline;
+// multi-core runs add a handful of small scheduling allocations per pass.
+func TestForwardInferZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	net := buildTestNet(t)
+	x := tensor.New(1, 3, 12, 12)
+	a := tensor.NewArena()
+	warm := PredictArena(net, x, a)
+	a.PutTensor(warm)
+	allocs := testing.AllocsPerRun(10, func() {
+		probs := PredictArena(net, x, a)
+		a.PutTensor(probs)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PredictArena allocates %v times per pass, want 0", allocs)
+	}
+}
+
+// TestForwardInferConcurrentArenas runs inference from several goroutines,
+// each with its own pooled arena (run under -race).
+func TestForwardInferConcurrentArenas(t *testing.T) {
+	net := buildTestNet(t)
+	x := tensor.New(1, 3, 12, 12)
+	for i := range x.Data {
+		x.Data[i] = float32(i%13) / 13
+	}
+	want := Predict(net, x)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for iter := 0; iter < 20; iter++ {
+				a := tensor.GetArena()
+				probs := PredictArena(net, x, a)
+				for i := range want.Data {
+					if math.Abs(float64(probs.Data[i]-want.Data[i])) > 1e-6 {
+						done <- errMismatch
+						return
+					}
+				}
+				a.PutTensor(probs)
+				tensor.PutArena(a)
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errorString("concurrent inference mismatch")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestForwardInferValidatesConvInput checks the arena path rejects
+// channel-mismatched inputs just like Layer.Forward does, instead of
+// silently computing on a reinterpreted buffer.
+func TestForwardInferValidatesConvInput(t *testing.T) {
+	net := buildTestNet(t)
+	x := tensor.New(1, 8, 12, 12) // stem expects 3 channels
+	a := tensor.NewArena()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on channel-mismatched input")
+		}
+	}()
+	net.ForwardInfer(x, a)
+}
+
+// TestForwardInferLeavesCallerInputUntouched checks a head-of-network
+// in-place layer (ReLU) does not scribble on the caller-owned input.
+func TestForwardInferLeavesCallerInputUntouched(t *testing.T) {
+	net := NewSequential(NewReLU("relu"), NewGlobalAvgPool("gap"))
+	x := tensor.New(1, 2, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = float32(i) - 9 // half negative
+	}
+	orig := append([]float32(nil), x.Data...)
+	a := tensor.NewArena()
+	net.ForwardInfer(x, a)
+	for i, v := range x.Data {
+		if v != orig[i] {
+			t.Fatalf("caller input mutated at %d: %v -> %v", i, orig[i], v)
+		}
+	}
+}

@@ -39,10 +39,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != c.Spec.InC {
 		panic(fmt.Sprintf("nn: conv %s: input shape %s, want [N,%d,H,W]", c.name, shapeStr(x.Shape), c.Spec.InC))
 	}
-	oh, ow := c.Spec.OutSize(x.Shape[2], x.Shape[3])
-	scratch := getScratch(c.Spec.InC * c.Spec.KH * c.Spec.KW * oh * ow)
-	y := tensor.ConvForward(x, c.Wt.W.Data, c.Bias.W.Data, c.Spec, scratch)
-	putScratch(scratch)
+	scratch := tensor.GetScratch(c.Spec.ColScratchLen(x.Shape[2], x.Shape[3]))
+	y := tensor.ConvForward(x, c.Wt.W.Data, c.Bias.W.Data, c.Spec, *scratch)
+	tensor.PutScratch(scratch)
 	if train {
 		c.lastIn = x
 	}
@@ -54,10 +53,9 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if c.lastIn == nil {
 		panic("nn: conv backward without forward(train=true)")
 	}
-	oh, ow := c.Spec.OutSize(c.lastIn.Shape[2], c.lastIn.Shape[3])
-	scratch := getScratch(c.Spec.InC * c.Spec.KH * c.Spec.KW * oh * ow)
-	dx := tensor.ConvBackward(c.lastIn, dy, c.Wt.W.Data, c.Wt.Grad.Data, c.Bias.Grad.Data, c.Spec, scratch)
-	putScratch(scratch)
+	scratch := tensor.GetScratch(c.Spec.ColScratchLen(c.lastIn.Shape[2], c.lastIn.Shape[3]))
+	dx := tensor.ConvBackward(c.lastIn, dy, c.Wt.W.Data, c.Wt.Grad.Data, c.Bias.Grad.Data, c.Spec, *scratch)
+	tensor.PutScratch(scratch)
 	c.lastIn = nil
 	return dx
 }

@@ -7,7 +7,6 @@ package nn
 
 import (
 	"fmt"
-	"sync"
 
 	"percival/internal/tensor"
 )
@@ -94,19 +93,6 @@ func ParamCount(l Layer) int {
 // SizeBytes returns the serialized float32 weight footprint, the number the
 // paper quotes when calling the PERCIVAL model "less than 2 MB".
 func SizeBytes(l Layer) int { return ParamCount(l) * 4 }
-
-// colPool recycles im2col scratch buffers across concurrent inference calls.
-var colPool = sync.Pool{New: func() any { return []float32(nil) }}
-
-func getScratch(n int) []float32 {
-	buf := colPool.Get().([]float32)
-	if cap(buf) < n {
-		buf = make([]float32, n)
-	}
-	return buf[:n]
-}
-
-func putScratch(buf []float32) { colPool.Put(buf) } //nolint:staticcheck
 
 // shapeStr formats a shape for error messages.
 func shapeStr(s []int) string { return fmt.Sprint(s) }

@@ -30,11 +30,21 @@ func ReLUBackward(dy *Tensor, mask []bool) *Tensor {
 // Softmax computes a numerically-stable softmax over each row of a [N,C]
 // tensor, returning a new tensor.
 func Softmax(x *Tensor) *Tensor {
+	y := New(x.Shape[0], x.Shape[1])
+	SoftmaxInto(x, y.Data)
+	return y
+}
+
+// SoftmaxInto computes the softmax of each row of a [N,C] tensor into dst
+// (length >= N*C), allocating nothing. dst may alias x.Data.
+func SoftmaxInto(x *Tensor, dst []float32) {
 	n, c := x.Shape[0], x.Shape[1]
-	y := New(n, c)
+	if len(dst) < n*c {
+		panic("tensor: SoftmaxInto dst too small")
+	}
 	for i := 0; i < n; i++ {
 		row := x.Data[i*c : (i+1)*c]
-		out := y.Data[i*c : (i+1)*c]
+		out := dst[i*c : (i+1)*c]
 		maxv := row[0]
 		for _, v := range row[1:] {
 			if v > maxv {
@@ -52,7 +62,6 @@ func Softmax(x *Tensor) *Tensor {
 			out[j] *= inv
 		}
 	}
-	return y
 }
 
 // CrossEntropyLoss computes the mean negative log-likelihood of the given

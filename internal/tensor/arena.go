@@ -1,0 +1,105 @@
+package tensor
+
+import "sync"
+
+// Arena is a size-classed free-list allocator for inference scratch. A
+// network forward pass requests the same buffer sizes frame after frame, so
+// after one warm-up pass every Get is satisfied from the free list and the
+// steady state allocates nothing.
+//
+// Ownership rules:
+//   - An Arena is NOT goroutine-safe. Each concurrent inference (e.g. one
+//     raster worker) must use its own arena; GetArena/PutArena recycle warm
+//     arenas through a global sync.Pool.
+//   - Tensors handed out by GetTensor belong to the arena. Callers must copy
+//     any values they need before PutTensor/PutArena, and must not retain the
+//     tensor (or slices of its data) afterwards.
+//   - Buffers are returned uncleared: callers must fully overwrite them.
+type Arena struct {
+	free    map[int][][]float32
+	headers []*Tensor
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][][]float32)}
+}
+
+// Get returns an uncleared buffer of length n, reusing a previously Put
+// buffer of the same length when available.
+func (a *Arena) Get(n int) []float32 {
+	if l := a.free[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		a.free[n] = l[:len(l)-1]
+		return buf
+	}
+	return make([]float32, n)
+}
+
+// Put returns a buffer obtained from Get to the free list.
+func (a *Arena) Put(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	a.free[len(buf)] = append(a.free[len(buf)], buf)
+}
+
+// GetTensor returns an arena-owned tensor with the given shape and uncleared
+// contents. Tensor headers are recycled alongside the data buffers, so the
+// steady state performs no heap allocation.
+func (a *Arena) GetTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	var t *Tensor
+	if len(a.headers) > 0 {
+		t = a.headers[len(a.headers)-1]
+		a.headers = a.headers[:len(a.headers)-1]
+	} else {
+		t = &Tensor{}
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	t.Data = a.Get(n)[:n]
+	return t
+}
+
+// PutTensor returns an arena-owned tensor's buffer and header to the arena.
+func (a *Arena) PutTensor(t *Tensor) {
+	a.Put(t.Data)
+	t.Data = nil
+	a.headers = append(a.headers, t)
+}
+
+// arenaPool recycles warm arenas across goroutines.
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+// GetArena fetches a (possibly warm) arena from the global pool.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena returns an arena to the global pool. The caller must no longer
+// hold any tensor or buffer obtained from it.
+func PutArena(a *Arena) { arenaPool.Put(a) }
+
+// scratchPool recycles transient scratch buffers (GEMM packing panels,
+// im2col columns, conv backward dcol). Pointers to slice headers are pooled
+// so the steady state performs no boxing allocation.
+var scratchPool sync.Pool
+
+// GetScratch returns a pointer to a scratch buffer of length n. Contents are
+// uncleared. Release with PutScratch.
+func GetScratch(n int) *[]float32 {
+	p, _ := scratchPool.Get().(*[]float32)
+	if p == nil {
+		p = new([]float32)
+	}
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutScratch returns a buffer obtained from GetScratch to the pool.
+func PutScratch(p *[]float32) { scratchPool.Put(p) }

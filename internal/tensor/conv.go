@@ -1,5 +1,7 @@
 package tensor
 
+import "fmt"
+
 // ConvSpec describes a 2-D convolution (square kernels are the common case in
 // SqueezeNet but rectangular ones are supported).
 type ConvSpec struct {
@@ -94,32 +96,108 @@ func Col2im(col []float32, c, h, w int, s ConvSpec, img []float32) {
 	}
 }
 
+// is1x1Fast reports whether the convolution is a pointwise (1×1, stride 1,
+// unpadded) conv, for which the input image already is the im2col column
+// matrix and the expansion can be skipped entirely. SqueezeNet's squeeze and
+// expand-1×1 convolutions — the bulk of its layers — take this path.
+func (s ConvSpec) is1x1Fast() bool {
+	return s.KH == 1 && s.KW == 1 && s.StrideH == 1 && s.StrideW == 1 &&
+		s.PadH == 0 && s.PadW == 0
+}
+
+// ColScratchLen returns the col scratch length ConvForward/ConvBackward
+// require for an h×w input: 0 when the pointwise fast path applies (the
+// scratch is unused and may be nil), InC*KH*KW*outH*outW otherwise. Callers
+// sizing scratch buffers should use this rather than re-deriving the
+// fast-path condition.
+func (s ConvSpec) ColScratchLen(h, w int) int {
+	if s.is1x1Fast() {
+		return 0
+	}
+	oh, ow := s.OutSize(h, w)
+	return s.InC * s.KH * s.KW * oh * ow
+}
+
+// checkColScratch validates the im2col scratch buffer up front so an
+// undersized buffer fails loudly instead of silently computing on a
+// truncated column matrix.
+func checkColScratch(fn string, col []float32, s ConvSpec, oh, ow int) {
+	if need := s.InC * s.KH * s.KW * oh * ow; len(col) < need {
+		panic(fmt.Sprintf("tensor: %s: col scratch has %d elements, need %d (InC*KH*KW*outH*outW = %d*%d*%d*%d*%d)",
+			fn, len(col), need, s.InC, s.KH, s.KW, oh, ow))
+	}
+}
+
 // ConvForward computes a batched convolution y = conv(x, w) + b using
 // im2col+GEMM, one GEMM per batch element. x is [N,C,H,W]; w is
 // [OutC, InC*KH*KW] flattened; b is [OutC] (may be nil); col is scratch of at
-// least InC*KH*KW*outH*outW elements. Returns [N,OutC,outH,outW].
+// least InC*KH*KW*outH*outW elements (unused, and may be nil, for 1×1
+// stride-1 unpadded convolutions). Returns [N,OutC,outH,outW].
 func ConvForward(x *Tensor, w, b []float32, s ConvSpec, col []float32) *Tensor {
+	n := x.Shape[0]
+	oh, ow := s.OutSize(x.Shape[2], x.Shape[3])
+	y := New(n, s.OutC, oh, ow)
+	ConvForwardInto(x, w, b, s, col, y, 0, false)
+	return y
+}
+
+// ConvForwardInto computes conv(x, w) + b into a caller-provided output
+// tensor. y must be [N, dstC, outH, outW] with chOff+OutC <= dstC; the
+// result lands in channels [chOff, chOff+OutC), which lets callers write
+// branch outputs (SqueezeNet's expand pair) directly into their concatenated
+// destination. When relu is set, bias addition and max(0,·) are fused into
+// the output pass, eliminating the separate activation sweep.
+//
+// 1×1/stride-1/unpadded convolutions skip Im2col entirely — the input is
+// already the column matrix — and ignore col (which may be nil).
+func ConvForwardInto(x *Tensor, w, b []float32, s ConvSpec, col []float32, y *Tensor, chOff int, relu bool) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := s.OutSize(h, wd)
-	y := New(n, s.OutC, oh, ow)
-	k := s.InC * s.KH * s.KW
 	spatial := oh * ow
+	dstC := y.Shape[1]
+	if y.Shape[0] != n || y.Shape[2] != oh || y.Shape[3] != ow || chOff+s.OutC > dstC {
+		panic(fmt.Sprintf("tensor: ConvForwardInto: output shape %v cannot hold [%d,%d,%d,%d] at channel offset %d",
+			y.Shape, n, s.OutC, oh, ow, chOff))
+	}
+	fast := s.is1x1Fast()
+	if !fast {
+		checkColScratch("ConvForwardInto", col, s, oh, ow)
+	}
+	k := s.InC * s.KH * s.KW
 	for i := 0; i < n; i++ {
 		img := x.Data[i*c*h*wd : (i+1)*c*h*wd]
-		Im2col(img, c, h, wd, s, col)
-		out := y.Data[i*s.OutC*spatial : (i+1)*s.OutC*spatial]
-		Gemm(w, col, out, s.OutC, k, spatial)
-		if b != nil {
-			for oc := 0; oc < s.OutC; oc++ {
-				bias := b[oc]
-				row := out[oc*spatial : (oc+1)*spatial]
+		out := y.Data[(i*dstC+chOff)*spatial : (i*dstC+chOff)*spatial+s.OutC*spatial]
+		if fast {
+			// The image is already the [InC, H*W] column matrix.
+			Gemm(w, img, out, s.OutC, k, spatial)
+		} else {
+			Im2col(img, c, h, wd, s, col)
+			Gemm(w, col, out, s.OutC, k, spatial)
+		}
+		if b == nil && !relu {
+			continue
+		}
+		for oc := 0; oc < s.OutC; oc++ {
+			var bias float32
+			if b != nil {
+				bias = b[oc]
+			}
+			row := out[oc*spatial : (oc+1)*spatial]
+			if relu {
+				for j, v := range row {
+					v += bias
+					if v < 0 {
+						v = 0
+					}
+					row[j] = v
+				}
+			} else {
 				for j := range row {
 					row[j] += bias
 				}
 			}
 		}
 	}
-	return y
 }
 
 // ConvBackward computes gradients for the im2col convolution. Given upstream
@@ -131,11 +209,26 @@ func ConvBackward(x, dy *Tensor, w, dw, db []float32, s ConvSpec, col []float32)
 	oh, ow := s.OutSize(h, wd)
 	spatial := oh * ow
 	k := s.InC * s.KH * s.KW
+	fast := s.is1x1Fast()
+	if !fast {
+		checkColScratch("ConvBackward", col, s, oh, ow)
+	}
 	dx := New(n, c, h, wd)
-	dcol := make([]float32, k*spatial)
+	var dcolp *[]float32
+	var dcol []float32
+	if !fast {
+		dcolp = GetScratch(k * spatial)
+		dcol = *dcolp
+	}
 	for i := 0; i < n; i++ {
 		img := x.Data[i*c*h*wd : (i+1)*c*h*wd]
-		Im2col(img, c, h, wd, s, col)
+		if !fast {
+			Im2col(img, c, h, wd, s, col)
+		} else {
+			// For pointwise convs the image already is the column matrix and
+			// Col2im is an identity accumulation into the (fresh) dx plane.
+			col = img
+		}
 		g := dy.Data[i*s.OutC*spatial : (i+1)*s.OutC*spatial]
 		// dW += dY × colᵀ : [OutC, spatial] × [spatial, k] with col stored
 		// [k, spatial] row-major, i.e. A×Bᵀ.
@@ -151,8 +244,15 @@ func ConvBackward(x, dy *Tensor, w, dw, db []float32, s ConvSpec, col []float32)
 			}
 		}
 		// dcol = Wᵀ × dY : W stored [OutC, k] row-major → Aᵀ×B.
-		GemmTA(w, g, dcol, k, s.OutC, spatial)
-		Col2im(dcol, c, h, wd, s, dx.Data[i*c*h*wd:(i+1)*c*h*wd])
+		if fast {
+			GemmTA(w, g, dx.Data[i*c*h*wd:(i+1)*c*h*wd], k, s.OutC, spatial)
+		} else {
+			GemmTA(w, g, dcol, k, s.OutC, spatial)
+			Col2im(dcol, c, h, wd, s, dx.Data[i*c*h*wd:(i+1)*c*h*wd])
+		}
+	}
+	if dcolp != nil {
+		PutScratch(dcolp)
 	}
 	return dx
 }

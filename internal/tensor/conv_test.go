@@ -1,0 +1,236 @@
+package tensor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestConvForward1x1FastPath checks the pointwise fast path (which skips
+// Im2col and accepts a nil col scratch) against the naive direct conv.
+func TestConvForward1x1FastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := ConvSpec{InC: 5, OutC: 7, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	x := FromSlice(randSlice(rng, 3*5*6*4), 3, 5, 6, 4)
+	w := randSlice(rng, s.OutC*s.InC)
+	b := randSlice(rng, s.OutC)
+	got := ConvForward(x, w, b, s, nil) // nil col: fast path must not touch it
+	want := naiveConv(x, w, b, s)
+	if !got.SameShape(want) {
+		t.Fatalf("shape %v want %v", got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		if !relClose(float64(got.Data[i]), float64(want.Data[i]), 1e-4) {
+			t.Fatalf("y[%d]=%v want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestConvForwardIntoChannelOffset writes two convolutions into disjoint
+// channel ranges of one output tensor and checks the result equals the
+// concatenation of the two standalone convolutions — the Fire-module layout.
+func TestConvForwardIntoChannelOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	in := FromSlice(randSlice(rng, 2*6*5*5), 2, 6, 5, 5)
+	s1 := ConvSpec{InC: 6, OutC: 3, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	s3 := ConvSpec{InC: 6, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w1 := randSlice(rng, s1.OutC*s1.InC)
+	b1 := randSlice(rng, s1.OutC)
+	w3 := randSlice(rng, s3.OutC*s3.InC*9)
+	b3 := randSlice(rng, s3.OutC)
+	col := make([]float32, s3.InC*9*5*5)
+
+	y := New(2, 7, 5, 5)
+	ConvForwardInto(in, w1, b1, s1, nil, y, 0, false)
+	ConvForwardInto(in, w3, b3, s3, col, y, 3, false)
+
+	y1 := naiveConv(in, w1, b1, s1)
+	y3 := naiveConv(in, w3, b3, s3)
+	plane := 5 * 5
+	for i := 0; i < 2; i++ {
+		for c := 0; c < 7; c++ {
+			var want []float32
+			if c < 3 {
+				want = y1.Data[(i*3+c)*plane : (i*3+c+1)*plane]
+			} else {
+				want = y3.Data[(i*4+c-3)*plane : (i*4+c-2)*plane]
+			}
+			got := y.Data[(i*7+c)*plane : (i*7+c+1)*plane]
+			for j := range want {
+				if !relClose(float64(got[j]), float64(want[j]), 1e-4) {
+					t.Fatalf("n=%d c=%d j=%d: got %v want %v", i, c, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestConvForwardIntoFusedReLU checks the fused bias+ReLU epilogue equals
+// conv followed by a separate clamp.
+func TestConvForwardIntoFusedReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := ConvSpec{InC: 3, OutC: 4, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	x := FromSlice(randSlice(rng, 1*3*9*9), 1, 3, 9, 9)
+	w := randSlice(rng, s.OutC*s.InC*9)
+	b := randSlice(rng, s.OutC)
+	oh, ow := s.OutSize(9, 9)
+	col := make([]float32, s.InC*9*oh*ow)
+
+	fused := New(1, s.OutC, oh, ow)
+	ConvForwardInto(x, w, b, s, col, fused, 0, true)
+
+	want := naiveConv(x, w, b, s)
+	for i, v := range want.Data {
+		if v < 0 {
+			v = 0
+		}
+		if !relClose(float64(fused.Data[i]), float64(v), 1e-4) {
+			t.Fatalf("y[%d]=%v want %v", i, fused.Data[i], v)
+		}
+	}
+}
+
+// TestConvScratchValidation checks that undersized col scratch panics with a
+// diagnostic message instead of silently computing on a truncated column
+// matrix.
+func TestConvScratchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	s := ConvSpec{InC: 2, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	x := FromSlice(randSlice(rng, 1*2*5*5), 1, 2, 5, 5)
+	w := randSlice(rng, s.OutC*s.InC*9)
+	short := make([]float32, 7) // far too small
+
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: expected panic on undersized col scratch", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "col scratch") {
+				t.Fatalf("%s: panic %v lacks diagnostic message", name, r)
+			}
+		}()
+		fn()
+	}
+	expectPanic("ConvForward", func() { ConvForward(x, w, nil, s, short) })
+	expectPanic("ConvBackward", func() {
+		dy := New(1, s.OutC, 5, 5)
+		dw := make([]float32, len(w))
+		ConvBackward(x, dy, w, dw, nil, s, short)
+	})
+}
+
+// TestConvBackward1x1FastPath verifies the pointwise backward shortcut
+// (no im2col / col2im round-trip) against central differences.
+func TestConvBackward1x1FastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	s := ConvSpec{InC: 3, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	x := FromSlice(randSlice(rng, 1*3*4*4), 1, 3, 4, 4)
+	w := randSlice(rng, s.OutC*s.InC)
+	b := randSlice(rng, s.OutC)
+	oh, ow := s.OutSize(4, 4)
+	coef := randSlice(rng, s.OutC*oh*ow)
+	objective := func() float64 {
+		y := ConvForward(x, w, b, s, nil)
+		var v float64
+		for i, c := range coef {
+			v += float64(c) * float64(y.Data[i])
+		}
+		return v
+	}
+	dy := FromSlice(append([]float32(nil), coef...), 1, s.OutC, oh, ow)
+	dw := make([]float32, len(w))
+	db := make([]float32, len(b))
+	dx := ConvBackward(x, dy, w, dw, db, s, nil)
+
+	const eps = 1e-2
+	check := func(name string, buf, grad []float32, idxs []int) {
+		for _, i := range idxs {
+			orig := buf[i]
+			buf[i] = orig + eps
+			up := objective()
+			buf[i] = orig - eps
+			down := objective()
+			buf[i] = orig
+			num := (up - down) / (2 * eps)
+			if !almostEq(num, float64(grad[i]), 2e-2) {
+				t.Fatalf("%s[%d]: numerical %v analytic %v", name, i, num, grad[i])
+			}
+		}
+	}
+	check("dx", x.Data, dx.Data, []int{0, 13, 31, 47})
+	check("dw", w, dw, []int{0, 3, 5})
+	check("db", b, db, []int{0, 1})
+}
+
+// TestIm2colCol2imAdjointHardSpecs is the strengthened adjoint property:
+// rectangular kernels, strides beyond 1, and asymmetric padding, over random
+// image sizes. <Im2col(x), y> must equal <x, Col2im(y)> for every spec.
+func TestIm2colCol2imAdjointHardSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 120; trial++ {
+		c := 1 + rng.Intn(4)
+		h := 4 + rng.Intn(9)
+		w := 4 + rng.Intn(9)
+		s := ConvSpec{
+			InC: c, OutC: 1,
+			KH: 1 + rng.Intn(4), KW: 1 + rng.Intn(4), // rectangular: KH and KW drawn independently
+			StrideH: 1 + rng.Intn(3), StrideW: 1 + rng.Intn(3), // stride up to 3
+			PadH: rng.Intn(3), PadW: rng.Intn(3), // asymmetric: PadH != PadW allowed
+		}
+		if s.KH > h+2*s.PadH || s.KW > w+2*s.PadW {
+			continue
+		}
+		oh, ow := s.OutSize(h, w)
+		if oh <= 0 || ow <= 0 {
+			continue
+		}
+		x := randSlice(rng, c*h*w)
+		col := make([]float32, c*s.KH*s.KW*oh*ow)
+		Im2col(x, c, h, w, s, col)
+		y := randSlice(rng, len(col))
+		var lhs float64
+		for i := range col {
+			lhs += float64(col[i]) * float64(y[i])
+		}
+		back := make([]float32, len(x))
+		Col2im(y, c, h, w, s, back)
+		var rhs float64
+		for i := range x {
+			rhs += float64(x[i]) * float64(back[i])
+		}
+		if !almostEq(lhs, rhs, 1e-2*(1+lhs*lhs)) {
+			t.Fatalf("trial %d spec %+v: <im2col(x),y>=%v <x,col2im(y)>=%v", trial, s, lhs, rhs)
+		}
+	}
+}
+
+// TestArenaReusesBuffersExactly verifies Get/Put round-trips reuse storage
+// (the zero-steady-state-allocation property) and that tensor headers are
+// recycled alongside.
+func TestArenaReusesBuffersExactly(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(128)
+	b1[0] = 42
+	a.Put(b1)
+	b2 := a.Get(128)
+	if &b1[0] != &b2[0] {
+		t.Fatal("arena did not reuse the freed buffer")
+	}
+	a.Put(b2)
+
+	t1 := a.GetTensor(2, 3)
+	d1 := &t1.Data[0]
+	a.PutTensor(t1)
+	t2 := a.GetTensor(3, 2)
+	if t1 != t2 {
+		t.Fatal("arena did not recycle the tensor header")
+	}
+	if &t2.Data[0] != d1 {
+		t.Fatal("arena did not reuse the tensor buffer for an equal-size shape")
+	}
+	if t2.Shape[0] != 3 || t2.Shape[1] != 2 {
+		t.Fatalf("recycled tensor shape %v", t2.Shape)
+	}
+}

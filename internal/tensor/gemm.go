@@ -1,26 +1,42 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
+import "runtime"
+
+// Blocked-GEMM tuning knobs (see PERFORMANCE.md for the derivation):
+//
+//   - mrTile×nrTile is the register-blocked micro-kernel footprint. On amd64
+//     the 6×16 tile maps to 12 YMM accumulators driven by FMA; the generic
+//     kernel uses the same packed layout.
+//   - kcBlock keeps one A micro-panel (mr×kc) plus one B micro-panel (kc×nr)
+//     L1-resident while the kernel streams them.
+//   - mcBlock keeps the packed A block (mc×kc ≈ 132 KB) L2-resident; it must
+//     be a multiple of mrTile.
+//   - ncBlock bounds the packed B block (kc×nc ≤ 2 MB, LLC-resident); it must
+//     be a multiple of nrTile.
+//   - gemmParallelThreshold is the m*k*n volume above which the work fans out
+//     across the persistent worker pool (see workers.go).
+//   - gemmSmallThreshold is the volume below which packing costs more than it
+//     saves and a plain unblocked loop runs instead.
+const (
+	mrTile  = 6
+	nrTile  = 16
+	kcBlock = 256
+	mcBlock = 132
+	ncBlock = 2048
+
+	gemmParallelThreshold = 1 << 16
+	gemmSmallThreshold    = 1 << 13
 )
 
-// gemmParallelThreshold is the FLOP count above which GEMM fans out across
-// goroutines. Below it the goroutine overhead dominates.
-const gemmParallelThreshold = 1 << 16
-
 // Gemm computes C = A×B for row-major matrices. A is M×K, B is K×N and C is
-// M×N; C is overwritten. The inner loops are ordered (i,k,j) so the hot loop
-// streams both B and C rows sequentially, and the work is split across
-// goroutines by output-row blocks for large problems.
+// M×N; C is overwritten. Large problems run cache-blocked over packed panels
+// with a register-tiled micro-kernel, split across the shared worker pool.
 func Gemm(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small")
 	}
-	for i := 0; i < m*n; i++ {
-		c[i] = 0
-	}
-	gemmAcc(a, b, c, m, k, n)
+	clear(c[:m*n])
+	gemmDispatch(a, b, c, m, k, n, false, false)
 }
 
 // GemmAcc computes C += A×B with the same layout as Gemm.
@@ -28,59 +44,17 @@ func GemmAcc(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmAcc buffer too small")
 	}
-	gemmAcc(a, b, c, m, k, n)
+	gemmDispatch(a, b, c, m, k, n, false, false)
 }
 
-func gemmAcc(a, b, c []float32, m, k, n int) {
-	flops := m * k * n
-	workers := runtime.GOMAXPROCS(0)
-	if flops < gemmParallelThreshold || workers < 2 || m < 2 {
-		gemmRows(a, b, c, 0, m, k, n)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += rowsPer {
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(a, b, c, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// gemmRows accumulates rows [lo,hi) of C += A×B.
-func gemmRows(a, b, c []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : p*n+n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// GemmTA computes C = Aᵀ×B where A is K×M (so Aᵀ is M×K), B is K×N, C is M×N.
+// GemmTA computes C = Aᵀ×B where A is stored K×M (so Aᵀ is M×K), B is K×N,
+// C is M×N.
 func GemmTA(a, b, c []float32, m, k, n int) {
-	for i := 0; i < m*n; i++ {
-		c[i] = 0
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmTA buffer too small")
 	}
-	GemmTAAcc(a, b, c, m, k, n)
+	clear(c[:m*n])
+	gemmDispatch(a, b, c, m, k, n, true, false)
 }
 
 // GemmTAAcc computes C += Aᵀ×B with A stored K×M.
@@ -88,38 +62,69 @@ func GemmTAAcc(a, b, c []float32, m, k, n int) {
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmTA buffer too small")
 	}
-	// Iterate p (rows of A and B) outermost: both are streamed row-major.
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < gemmParallelThreshold || workers < 2 || m < 2 {
-		gemmTARows(a, b, c, 0, m, k, n)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += rowsPer {
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmTARows(a, b, c, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmDispatch(a, b, c, m, k, n, true, false)
 }
 
-// gemmTARows accumulates rows [lo,hi) of C += Aᵀ×B, with A stored K×M.
-func gemmTARows(a, b, c []float32, lo, hi, k, n int) {
-	m := len(a) / k
-	for i := lo; i < hi; i++ {
+// GemmTB computes C = A×Bᵀ where A is M×K, B is stored N×K, C is M×N.
+func GemmTB(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTB buffer too small")
+	}
+	clear(c[:m*n])
+	gemmDispatch(a, b, c, m, k, n, false, true)
+}
+
+// GemmTBAcc computes C += A×Bᵀ with B stored N×K.
+func GemmTBAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTB buffer too small")
+	}
+	gemmDispatch(a, b, c, m, k, n, false, true)
+}
+
+// gemmDispatch routes a C += op(A)×op(B) product to the small unblocked loop
+// or the packed blocked kernel. aT means A is stored K×M; bT means B is
+// stored N×K. At most one of aT/bT is set by the public entry points.
+func gemmDispatch(a, b, c []float32, m, k, n int, aT, bT bool) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	if m*k*n <= gemmSmallThreshold {
+		gemmSmall(a, b, c, m, k, n, aT, bT)
+		return
+	}
+	gemmBlocked(a, b, c, m, k, n, aT, bT)
+}
+
+// gemmSmall is the unblocked fallback for problems too small to amortize
+// packing. Loop orders match the storage layouts so every inner loop streams
+// contiguously.
+func gemmSmall(a, b, c []float32, m, k, n int, aT, bT bool) {
+	if bT {
+		// C[i,j] = dot(A row i, B row j): both contiguous.
+		for i := 0; i < m; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : j*k+k]
+				var sum float32
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				crow[j] += sum
+			}
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
 		crow := c[i*n : i*n+n]
 		for p := 0; p < k; p++ {
-			av := a[p*m+i]
+			var av float32
+			if aT {
+				av = a[p*m+i]
+			} else {
+				av = a[i*k+p]
+			}
 			if av == 0 {
 				continue
 			}
@@ -131,55 +136,188 @@ func gemmTARows(a, b, c []float32, lo, hi, k, n int) {
 	}
 }
 
-// GemmTB computes C = A×Bᵀ where A is M×K, B is N×K, C is M×N.
-func GemmTB(a, b, c []float32, m, k, n int) {
-	for i := 0; i < m*n; i++ {
-		c[i] = 0
+// gemmBlocked is the cache-blocked path: loops (jc, pc, ic) over NC/KC/MC
+// blocks, packing B and A into micro-panel layout and running the
+// register-tiled kernel over every (ir, jr) tile. Parallelism fans the column
+// panels of each (ic, pc, jc) block across the worker pool; panels write
+// disjoint regions of C.
+func gemmBlocked(a, b, c []float32, m, k, n int, aT, bT bool) {
+	lda := k
+	if aT {
+		lda = m
 	}
-	GemmTBAcc(a, b, c, m, k, n)
-}
-
-// GemmTBAcc computes C += A×Bᵀ with B stored N×K. Each C element is a dot
-// product of an A row and a B row, both streamed sequentially.
-func GemmTBAcc(a, b, c []float32, m, k, n int) {
-	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
-		panic("tensor: GemmTB buffer too small")
+	ldb := n
+	if bT {
+		ldb = k
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < gemmParallelThreshold || workers < 2 || m < 2 {
-		gemmTBRows(a, b, c, 0, m, k, n)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += rowsPer {
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmTBRows(a, b, c, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-func gemmTBRows(a, b, c []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : j*k+k]
-			var sum float32
-			for p, av := range arow {
-				sum += av * brow[p]
+	serial := m*k*n < gemmParallelThreshold || runtime.GOMAXPROCS(0) < 2
+	for jc := 0; jc < n; jc += ncBlock {
+		nc := min(ncBlock, n-jc)
+		ncPanels := (nc + nrTile - 1) / nrTile
+		for pc := 0; pc < k; pc += kcBlock {
+			kc := min(kcBlock, k-pc)
+			bbufp := GetScratch(ncPanels * nrTile * kc)
+			bbuf := *bbufp
+			packB(bbuf, b, ldb, bT, pc, kc, jc, nc)
+			for ic := 0; ic < m; ic += mcBlock {
+				mc := min(mcBlock, m-ic)
+				mcPanels := (mc + mrTile - 1) / mrTile
+				abufp := GetScratch(mcPanels * mrTile * kc)
+				abuf := *abufp
+				packA(abuf, a, lda, aT, ic, mc, pc, kc)
+				blk := gemmBlock{
+					abuf: abuf, bbuf: bbuf, c: c,
+					ic: ic, jc: jc, kc: kc, mc: mc, nc: nc,
+					mcPanels: mcPanels, n: n,
+				}
+				if serial {
+					for jp := 0; jp < ncPanels; jp++ {
+						blk.panel(jp)
+					}
+				} else {
+					blk.parallel(ncPanels)
+				}
+				PutScratch(abufp)
 			}
-			crow[j] += sum
+			PutScratch(bbufp)
+		}
+	}
+}
+
+// gemmBlock carries one packed (mc×kc)×(kc×nc) block product; panel runs the
+// micro-kernel down one nrTile-wide column panel. It is a named struct (not a
+// closure) so the serial path keeps it off the heap.
+type gemmBlock struct {
+	abuf, bbuf, c      []float32
+	ic, jc, kc, mc, nc int
+	mcPanels, n        int
+}
+
+// parallel fans the block's column panels across the worker pool. The value
+// receiver confines the heap-escaping method value to this path, keeping the
+// serial caller's gemmBlock on the stack.
+func (g gemmBlock) parallel(ncPanels int) {
+	parallelFor(ncPanels, g.panel)
+}
+
+func (g *gemmBlock) panel(jp int) {
+	var tile [mrTile * nrTile]float32
+	bpanel := g.bbuf[jp*nrTile*g.kc:]
+	j := g.jc + jp*nrTile
+	cols := min(nrTile, g.nc-jp*nrTile)
+	for ip := 0; ip < g.mcPanels; ip++ {
+		apanel := g.abuf[ip*mrTile*g.kc:]
+		i := g.ic + ip*mrTile
+		rows := min(mrTile, g.mc-ip*mrTile)
+		if rows == mrTile && cols == nrTile {
+			gemmKernel(g.kc, apanel, bpanel, g.c[i*g.n+j:], g.n)
+			continue
+		}
+		// Edge tile: run the full-size kernel on a zeroed scratch tile, then
+		// fold the valid region into C.
+		clear(tile[:])
+		gemmKernel(g.kc, apanel, bpanel, tile[:], nrTile)
+		for r := 0; r < rows; r++ {
+			crow := g.c[(i+r)*g.n+j:]
+			trow := tile[r*nrTile:]
+			for t := 0; t < cols; t++ {
+				crow[t] += trow[t]
+			}
+		}
+	}
+}
+
+// packA copies the mc×kc block of op(A) at (i0, p0) into micro-panel layout:
+// consecutive groups of mrTile values hold one column of an mrTile-row panel,
+// zero-padded past the last valid row so the kernel never branches.
+func packA(dst, a []float32, lda int, trans bool, i0, mc, p0, kc int) {
+	di := 0
+	for ir := 0; ir < mc; ir += mrTile {
+		rows := min(mrTile, mc-ir)
+		if !trans && rows == mrTile {
+			base := (i0 + ir) * lda
+			r0 := a[base+p0 : base+p0+kc]
+			r1 := a[base+lda+p0:]
+			r2 := a[base+2*lda+p0:]
+			r3 := a[base+3*lda+p0:]
+			r4 := a[base+4*lda+p0:]
+			r5 := a[base+5*lda+p0:]
+			for p := 0; p < kc; p++ {
+				dst[di] = r0[p]
+				dst[di+1] = r1[p]
+				dst[di+2] = r2[p]
+				dst[di+3] = r3[p]
+				dst[di+4] = r4[p]
+				dst[di+5] = r5[p]
+				di += mrTile
+			}
+			continue
+		}
+		for p := 0; p < kc; p++ {
+			for r := 0; r < mrTile; r++ {
+				var v float32
+				if r < rows {
+					if trans {
+						v = a[(p0+p)*lda+i0+ir+r]
+					} else {
+						v = a[(i0+ir+r)*lda+p0+p]
+					}
+				}
+				dst[di] = v
+				di++
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block of op(B) at (p0, j0) into micro-panel layout:
+// consecutive groups of nrTile values hold one row of an nrTile-column panel,
+// zero-padded past the last valid column.
+func packB(dst, b []float32, ldb int, trans bool, p0, kc, j0, nc int) {
+	di := 0
+	for jr := 0; jr < nc; jr += nrTile {
+		cols := min(nrTile, nc-jr)
+		if !trans && cols == nrTile {
+			for p := 0; p < kc; p++ {
+				src := (p0+p)*ldb + j0 + jr
+				copy(dst[di:di+nrTile], b[src:src+nrTile])
+				di += nrTile
+			}
+			continue
+		}
+		for p := 0; p < kc; p++ {
+			for cidx := 0; cidx < nrTile; cidx++ {
+				var v float32
+				if cidx < cols {
+					if trans {
+						v = b[(j0+jr+cidx)*ldb+p0+p]
+					} else {
+						v = b[(p0+p)*ldb+j0+jr+cidx]
+					}
+				}
+				dst[di] = v
+				di++
+			}
+		}
+	}
+}
+
+// gemmKernelGeneric is the portable micro-kernel over the packed panels: the
+// 6×16 tile of C at stride ldc accumulates kc outer products. It is used on
+// non-amd64 builds and as the runtime fallback when AVX2/FMA is unavailable.
+func gemmKernelGeneric(kc int, a, b, ctile []float32, ldc int) {
+	for p := 0; p < kc; p++ {
+		ap := a[p*mrTile : p*mrTile+mrTile]
+		bp := b[p*nrTile : p*nrTile+nrTile]
+		for r := 0; r < mrTile; r++ {
+			av := ap[r]
+			if av == 0 {
+				continue
+			}
+			crow := ctile[r*ldc : r*ldc+nrTile]
+			for j, bv := range bp {
+				crow[j] += av * bv
+			}
 		}
 	}
 }

@@ -1,0 +1,51 @@
+//go:build amd64
+
+package tensor
+
+// sgemmKernel6x16 is the FMA micro-kernel in gemm_amd64.s.
+//
+//go:noescape
+func sgemmKernel6x16(kc int64, a, b, c *float32, ldc int64)
+
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// haveFMA reports whether the CPU and OS support the AVX2+FMA kernel
+// (AVX2, FMA3, and YMM state enabled via XSAVE).
+var haveFMA = detectFMA()
+
+func detectFMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// The OS must have enabled XMM+YMM state saving.
+	if lo, _ := xgetbv0(); lo&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// gemmKernel runs one packed 6×16 micro-tile update (see gemmKernelGeneric
+// for the semantics), dispatching to the FMA kernel when available.
+func gemmKernel(kc int, a, b, ctile []float32, ldc int) {
+	if haveFMA {
+		sgemmKernel6x16(int64(kc), &a[0], &b[0], &ctile[0], int64(ldc))
+		return
+	}
+	gemmKernelGeneric(kc, a, b, ctile, ldc)
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// gemmKernel runs one packed 6×16 micro-tile update on platforms without an
+// assembly kernel.
+func gemmKernel(kc int, a, b, ctile []float32, ldc int) {
+	gemmKernelGeneric(kc, a, b, ctile, ldc)
+}

@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // PoolSpec describes a 2-D pooling window.
 type PoolSpec struct {
@@ -59,6 +62,44 @@ func MaxPoolForward(x *Tensor, p PoolSpec) (y *Tensor, argmax []int32) {
 		}
 	}
 	return y, argmax
+}
+
+// MaxPoolForwardInto computes max pooling into a caller-provided output
+// tensor without recording argmax indices — the inference-path variant, which
+// performs no allocation. y must be [N,C,outH,outW].
+func MaxPoolForwardInto(x *Tensor, p PoolSpec, y *Tensor) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if y.Shape[0] != n || y.Shape[1] != c || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: MaxPoolForwardInto: output shape %v, want [%d,%d,%d,%d]", y.Shape, n, c, oh, ow))
+	}
+	oi := 0
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < p.K; ky++ {
+					iy := oy*p.Stride - p.Pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					row := plane[iy*w : iy*w+w]
+					for kx := 0; kx < p.K; kx++ {
+						ix := ox*p.Stride - p.Pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						if v := row[ix]; v > best {
+							best = v
+						}
+					}
+				}
+				y.Data[oi] = best
+				oi++
+			}
+		}
+	}
 }
 
 // MaxPoolBackward scatters dy back to the winning input positions.
@@ -158,6 +199,25 @@ func GlobalAvgPoolForward(x *Tensor) *Tensor {
 		y.Data[i] = sum * inv
 	}
 	return y
+}
+
+// GlobalAvgPoolInto averages each channel plane of x ([N,C,H,W]) into dst,
+// which must hold N*C elements — the allocation-free inference variant of
+// GlobalAvgPoolForward.
+func GlobalAvgPoolInto(x *Tensor, dst []float32) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if len(dst) < n*c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPoolInto: dst has %d elements, need %d", len(dst), n*c))
+	}
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		var sum float32
+		for _, v := range plane {
+			sum += v
+		}
+		dst[i] = sum * inv
+	}
 }
 
 // GlobalAvgPoolBackward spreads each channel gradient uniformly over the
