@@ -1,12 +1,19 @@
 # Development targets. `make check` is the gate every change must pass: it
-# includes a race-detector run over the packages that share the GEMM worker
-# pool and the inference arena.
+# includes a gofmt cleanliness check and a race-detector run over the
+# packages that share the GEMM worker pool and the inference arena.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-infer
+.PHONY: check fmt vet build test race bench bench-all bench-infer
 
-check: vet build test race
+check: fmt vet build test race
+
+# Fail on unformatted files so the assembly-adjacent Go stays tidy in CI.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -20,11 +27,17 @@ test:
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/core/...
 
-# Full benchmark sweep (slow: regenerates every paper figure).
+# Headline benchmark snapshot: runs the perf-trajectory benchmarks (FP32 and
+# INT8 inference, stem GEMMs, resize, training epoch) plus the INT8
+# accuracy-parity comparison, and writes BENCH_2.json.
 bench:
+	$(GO) run ./cmd/percival-bench -out BENCH_2.json
+
+# Full benchmark sweep (slow: regenerates every paper figure).
+bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
 # Just the inference-latency trajectory (see PERFORMANCE.md).
 bench-infer:
 	$(GO) test -run=NONE -bench='BenchmarkInferSingle|BenchmarkInferBatch' -benchmem .
-	$(GO) test -run=NONE -bench=BenchmarkGemm -benchtime=1s ./internal/tensor/
+	$(GO) test -run=NONE -bench='BenchmarkGemm|BenchmarkQGemm' -benchtime=1s ./internal/tensor/

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"percival/internal/benchsuite"
 	"percival/internal/browser"
 	"percival/internal/core"
 	"percival/internal/crawler"
@@ -103,45 +104,21 @@ func BenchmarkAsyncMemoization(b *testing.B) { runExperiment(b, eval.ExpAsync) }
 // resolution on the arena fast path (model forward only, no harness
 // training): the per-frame cost PERCIVAL adds to the rendering critical
 // path. Steady state should report ~zero allocs/op.
-func BenchmarkInferSingle(b *testing.B) {
-	net, err := squeezenet.Build(squeezenet.PaperConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	squeezenet.PretrainedInit(net, 1)
-	x := tensor.New(1, 4, 224, 224)
-	a := tensor.NewArena()
-	probs := nn.PredictArena(net, x, a) // warm the arena
-	a.PutTensor(probs)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		probs := nn.PredictArena(net, x, a)
-		a.PutTensor(probs)
-	}
-}
+func BenchmarkInferSingle(b *testing.B) { benchsuite.InferSingle(b) }
 
 // BenchmarkInferBatch measures batched inference throughput (8 frames per
 // forward pass) on the arena fast path, the ClassifyBatch workload.
-func BenchmarkInferBatch(b *testing.B) {
-	const batch = 8
-	net, err := squeezenet.Build(squeezenet.PaperConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	squeezenet.PretrainedInit(net, 1)
-	x := tensor.New(batch, 4, 224, 224)
-	a := tensor.NewArena()
-	probs := nn.PredictArena(net, x, a)
-	a.PutTensor(probs)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		probs := nn.PredictArena(net, x, a)
-		a.PutTensor(probs)
-	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch)/1e6, "ms/frame")
-}
+func BenchmarkInferBatch(b *testing.B) { benchsuite.InferBatch(b) }
+
+// BenchmarkInferSingleInt8 measures single-frame inference latency at paper
+// resolution on the quantized arena path — the INT8 counterpart of
+// BenchmarkInferSingle. Steady state should report 0 allocs/op. (Benchmark
+// bodies live in internal/benchsuite, shared with cmd/percival-bench.)
+func BenchmarkInferSingleInt8(b *testing.B) { benchsuite.InferSingleInt8(b) }
+
+// BenchmarkInferBatchInt8 measures batched quantized throughput (8 frames
+// per forward pass) — the quantized ClassifyBatch workload.
+func BenchmarkInferBatchInt8(b *testing.B) { benchsuite.InferBatchInt8(b) }
 
 // BenchmarkClassifySingleFrame measures the per-frame model latency the
 // paper quotes as 11 ms at 224px (ours runs at the harness resolution).

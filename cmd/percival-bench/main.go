@@ -1,0 +1,136 @@
+// Command percival-bench runs the repository's headline benchmarks and
+// writes a machine-readable snapshot (ms/op, B/op, allocs/op per benchmark,
+// plus the FP32-vs-INT8 accuracy parity numbers) to a JSON file — one point
+// of the performance trajectory tracked across PRs (BENCH_<n>.json; see
+// PERFORMANCE.md).
+//
+//	percival-bench                     # writes BENCH_2.json
+//	percival-bench -out /tmp/b.json    # custom path
+//	percival-bench -skip-parity        # benchmarks only (no model training)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"percival/internal/benchsuite"
+	"percival/internal/eval"
+)
+
+// BenchResult is one benchmark row of the snapshot.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// ParityResult records the INT8 accuracy-parity numbers from the synthetic
+// eval set (the eval.Quant experiment at the default reduced scale).
+type ParityResult struct {
+	ParityGate    float64 `json:"parity_gate"`
+	EvalAgreement float64 `json:"eval_agreement"`
+	AccFP32       float64 `json:"acc_fp32"`
+	AccINT8       float64 `json:"acc_int8"`
+	FP32MsFrame   float64 `json:"fp32_ms_per_frame"`
+	INT8MsFrame   float64 `json:"int8_ms_per_frame"`
+	Res           int     `json:"res"`
+	Samples       int     `json:"samples"`
+}
+
+// Snapshot is the BENCH_<n>.json schema.
+type Snapshot struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	INT8       *ParityResult `json:"int8,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	skipParity := flag.Bool("skip-parity", false, "skip the INT8 accuracy-parity run (no model training)")
+	flag.Parse()
+
+	snap := &Snapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	for _, b := range headlineBenchmarks() {
+		fmt.Fprintf(os.Stderr, "bench %-28s ", b.name)
+		r := testing.Benchmark(b.fn)
+		res := BenchResult{
+			Name:        b.name,
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op\n", res.MsPerOp, res.AllocsPerOp)
+		snap.Benchmarks = append(snap.Benchmarks, res)
+	}
+
+	if !*skipParity {
+		fmt.Fprintln(os.Stderr, "parity: training reduced-scale model and comparing FP32 vs INT8...")
+		h := eval.NewHarness(nil)
+		rep, err := h.Quant()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "percival-bench: parity:", err)
+			os.Exit(1)
+		}
+		snap.INT8 = &ParityResult{
+			ParityGate:    rep.ParityGate,
+			EvalAgreement: rep.Agreement,
+			AccFP32:       rep.FP32.Accuracy(),
+			AccINT8:       rep.INT8.Accuracy(),
+			FP32MsFrame:   rep.FP32MS,
+			INT8MsFrame:   rep.INT8MS,
+			Res:           h.Res,
+			Samples:       rep.SampleCount,
+		}
+		fmt.Fprintf(os.Stderr, "parity: gate %.3f, eval agreement %.3f, accuracy %+.4f\n",
+			rep.ParityGate, rep.Agreement, rep.INT8.Accuracy()-rep.FP32.Accuracy())
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "percival-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "percival-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// headlineBenchmarks is the repository's headline benchmark set (single
+// definition in internal/benchsuite, shared with bench_test.go; see
+// PERFORMANCE.md): single-frame and batched inference on both engines, the
+// paper-scale stem GEMMs, the pre-processing resize, and a training epoch.
+func headlineBenchmarks() []namedBench {
+	return []namedBench{
+		{"InferSingle", benchsuite.InferSingle},
+		{"InferSingleInt8", benchsuite.InferSingleInt8},
+		{"InferBatch8", benchsuite.InferBatch},
+		{"InferBatch8Int8", benchsuite.InferBatchInt8},
+		{"Gemm96x196x12544", benchsuite.GemmStem},
+		{"QGemm96x196x12544", benchsuite.QGemmStem},
+		{"ResizeBilinear640x480to224", benchsuite.Resize},
+		{"TrainingEpoch", benchsuite.TrainingEpoch},
+	}
+}

@@ -27,6 +27,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		int8cmp    = flag.Bool("int8", false, "report FP32-vs-INT8 accuracy delta and latency side by side (alias for -experiment quant)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,9 @@ func main() {
 	h.Epochs = *epochs
 	h.Seed = *seed
 
+	if *int8cmp {
+		*experiment = eval.ExpQuant
+	}
 	if *experiment == "" {
 		if err := h.RunAll(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "percival-eval:", err)

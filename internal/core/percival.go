@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,19 @@ type Options struct {
 	// sighting. Used by the performance evaluation, which measures the
 	// paper's synchronous classify-every-image treatment.
 	DisableCache bool
+	// Quantized requests the INT8 inference engine. The model is quantized
+	// at load time, calibrated on CalibFrames, and gated by an
+	// accuracy-parity check against the FP32 path on the same frames
+	// (restricted to frames FP32 classifies with some margin): if top-1
+	// agreement falls below ParityMinAgreement the service silently stays
+	// on FP32 (QuantizedActive reports the outcome).
+	Quantized bool
+	// CalibFrames are representative decoded frames used for quantization
+	// calibration and the parity gate. Required when Quantized is set.
+	CalibFrames []*imaging.Bitmap
+	// ParityMinAgreement is the minimum FP32-vs-INT8 top-1 agreement for
+	// the quantized engine to activate. 0 uses the default of 0.99.
+	ParityMinAgreement float64
 }
 
 // Percival is the classifier service. One instance serves all raster
@@ -62,6 +76,12 @@ type Percival struct {
 	net  *nn.Sequential
 	cfg  squeezenet.Config
 	opts Options
+
+	// qnet is the INT8 engine; non-nil only when Options.Quantized was set
+	// and the accuracy-parity gate passed. parityAgreement records the
+	// measured FP32-vs-INT8 top-1 agreement either way.
+	qnet            *nn.QuantizedSequential
+	parityAgreement float64
 
 	cache *verdictCache
 
@@ -98,12 +118,100 @@ func New(net *nn.Sequential, cfg squeezenet.Config, opts Options) (*Percival, er
 	if opts.MinFrameEdge == 0 {
 		opts.MinFrameEdge = 20
 	}
-	return &Percival{
+	p := &Percival{
 		net:   net,
 		cfg:   cfg,
 		opts:  opts,
 		cache: newVerdictCache(opts.CacheSize),
-	}, nil
+	}
+	if opts.Quantized {
+		if err := p.enableQuantized(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// enableQuantized quantizes the model on the calibration frames and runs the
+// accuracy-parity gate: the INT8 engine activates only if its top-1 verdicts
+// agree with FP32 on at least ParityMinAgreement of the frames.
+func (p *Percival) enableQuantized() error {
+	if len(p.opts.CalibFrames) == 0 {
+		return fmt.Errorf("core: quantized mode requires calibration frames")
+	}
+	minAgree := p.opts.ParityMinAgreement
+	if minAgree == 0 {
+		minAgree = 0.99
+	}
+	res := p.cfg.InputRes
+	tensors := make([]*tensor.Tensor, len(p.opts.CalibFrames))
+	for i, f := range p.opts.CalibFrames {
+		tensors[i] = imaging.PrepareInput(f, res)
+	}
+	qnet, err := squeezenet.Quantize(p.net, p.cfg, tensors)
+	if err != nil {
+		return fmt.Errorf("core: quantize: %w", err)
+	}
+	// Margin-filtered agreement on the service's own decision function:
+	// verdicts are compared at the configured Threshold, and frames FP32
+	// itself scores within parityMargin of that boundary are excluded —
+	// they flip under any numeric perturbation and say nothing about
+	// quantization fidelity. If every frame is borderline there is nothing
+	// to distinguish and the engines are considered in parity.
+	const parityMargin = 0.05
+	agree, counted := 0, 0
+	a := tensor.GetArena()
+	for _, x := range tensors {
+		pf := nn.PredictArena(p.net, x, a)
+		fpScore := float64(pf.Data[1])
+		a.PutTensor(pf)
+		pq := qnet.PredictArena(x, a)
+		qScore := float64(pq.Data[1])
+		a.PutTensor(pq)
+		if math.Abs(fpScore-p.opts.Threshold) < parityMargin {
+			continue
+		}
+		counted++
+		if (fpScore >= p.opts.Threshold) == (qScore >= p.opts.Threshold) {
+			agree++
+		}
+	}
+	tensor.PutArena(a)
+	if counted == 0 {
+		p.parityAgreement = 1
+	} else {
+		p.parityAgreement = float64(agree) / float64(counted)
+	}
+	if p.parityAgreement >= minAgree {
+		p.qnet = qnet
+	}
+	return nil
+}
+
+// QuantizedActive reports whether inference runs on the INT8 engine (the
+// parity gate passed).
+func (p *Percival) QuantizedActive() bool { return p.qnet != nil }
+
+// ParityAgreement returns the measured FP32-vs-INT8 top-1 agreement on the
+// calibration frames (0 when quantization was not requested).
+func (p *Percival) ParityAgreement() float64 { return p.parityAgreement }
+
+// QuantizedModelSizeBytes returns the INT8 weight footprint, or 0 when the
+// quantized engine is inactive.
+func (p *Percival) QuantizedModelSizeBytes() int {
+	if p.qnet == nil {
+		return 0
+	}
+	return p.qnet.SizeBytes()
+}
+
+// predictArena routes one pre-processed input batch through the active
+// engine (INT8 when the parity gate passed, FP32 otherwise).
+func (p *Percival) predictArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if p.qnet != nil {
+		return p.qnet.PredictArena(x, a)
+	}
+	return nn.PredictArena(p.net, x, a)
 }
 
 // inferState bundles the reusable per-goroutine inference resources: a warm
@@ -137,7 +245,7 @@ func (p *Percival) Classify(frame *imaging.Bitmap) float64 {
 	imaging.ResizeBilinearInto(frame, st.scaled)
 	x := st.arena.GetTensor(1, 4, res, res)
 	imaging.ToTensorInto(st.scaled, x.Data)
-	probs := nn.PredictArena(p.net, x, st.arena)
+	probs := p.predictArena(x, st.arena)
 	score := float64(probs.Data[1]) // class 1 = ad
 	st.arena.PutTensor(probs)
 	st.arena.PutTensor(x)
@@ -177,7 +285,7 @@ func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
 			imaging.ResizeBilinearInto(f, st.scaled)
 			imaging.ToTensorInto(st.scaled, x.Data[i*per:(i+1)*per])
 		}
-		probs := nn.PredictArena(p.net, x, st.arena)
+		probs := p.predictArena(x, st.arena)
 		k := probs.Shape[1]
 		for i := range chunk {
 			out[lo+i] = float64(probs.Data[i*k+1])

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"percival/internal/imaging"
+	"percival/internal/squeezenet"
+	"percival/internal/synth"
+)
+
+func calibFrames(n int) []*imaging.Bitmap {
+	g := synth.NewGenerator(41, synth.CrawlStyle())
+	frames := make([]*imaging.Bitmap, n)
+	for i := range frames {
+		frames[i], _ = g.Sample()
+	}
+	return frames
+}
+
+// TestQuantizedModeClassifies checks the quantized service activates behind
+// the parity gate and produces scores close to the FP32 service on fresh
+// frames.
+func TestQuantizedModeClassifies(t *testing.T) {
+	frames := calibFrames(32)
+	fp := testService(t, Options{})
+	q := testService(t, Options{Quantized: true, CalibFrames: frames})
+	if q.ParityAgreement() == 0 {
+		t.Fatal("parity agreement not measured")
+	}
+	if !q.QuantizedActive() {
+		t.Skipf("parity gate kept FP32 (agreement %.3f) — valid fallback, nothing to compare", q.ParityAgreement())
+	}
+	if q.QuantizedModelSizeBytes() == 0 || q.QuantizedModelSizeBytes() >= q.ModelSizeBytes() {
+		t.Fatalf("INT8 model %d B should be below FP32 %d B", q.QuantizedModelSizeBytes(), q.ModelSizeBytes())
+	}
+	g := synth.NewGenerator(42, synth.CrawlStyle())
+	for i := 0; i < 16; i++ {
+		f, _ := g.Sample()
+		pf := fp.Classify(f)
+		pq := q.Classify(f)
+		if math.Abs(pf-pq) > 0.2 {
+			t.Fatalf("frame %d: fp32 %.4f int8 %.4f", i, pf, pq)
+		}
+	}
+	// batched path routes through the same engine
+	batch := q.ClassifyBatch([]*imaging.Bitmap{frames[0], frames[1]})
+	for i, f := range frames[:2] {
+		if math.Abs(batch[i]-q.Classify(f)) > 1e-4 {
+			t.Fatalf("batch[%d]=%v single=%v", i, batch[i], q.Classify(f))
+		}
+	}
+}
+
+// TestQuantizedModeRequiresCalibration checks the calibration-frame
+// precondition fails loudly.
+func TestQuantizedModeRequiresCalibration(t *testing.T) {
+	cfg := squeezenet.SmallConfig(16)
+	net, err := squeezenet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squeezenet.PretrainedInit(net, 1)
+	if _, err := New(net, cfg, Options{Quantized: true}); err == nil {
+		t.Fatal("quantized mode without calibration frames must fail")
+	}
+}
+
+// TestQuantizedParityGateFallback checks an impossible parity bar falls back
+// to FP32 instead of serving a model that failed its accuracy check.
+func TestQuantizedParityGateFallback(t *testing.T) {
+	p := testService(t, Options{Quantized: true, CalibFrames: calibFrames(8), ParityMinAgreement: 1.1})
+	if p.QuantizedActive() {
+		t.Fatal("unreachable parity bar must leave FP32 active")
+	}
+	if prob := p.Classify(adLike(t)); prob < 0 || prob > 1 {
+		t.Fatalf("fallback service must still classify, got %v", prob)
+	}
+}
+
+// TestQuantizedZeroAllocSteadyState checks the quantized Classify path keeps
+// the zero-allocation property of the FP32 path.
+func TestQuantizedZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	p := testService(t, Options{Quantized: true, CalibFrames: calibFrames(16), DisableCache: true})
+	if !p.QuantizedActive() {
+		t.Skipf("parity gate kept FP32 (agreement %.3f)", p.ParityAgreement())
+	}
+	f := adLike(t)
+	p.Classify(f) // warm the pooled state
+	allocs := testing.AllocsPerRun(10, func() { p.Classify(f) })
+	// Classify draws state from a sync.Pool; allow the occasional pool miss.
+	if allocs > 1 {
+		t.Fatalf("steady-state quantized Classify allocates %v times per call", allocs)
+	}
+}

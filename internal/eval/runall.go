@@ -25,6 +25,7 @@ const (
 	ExpAsync = "async"
 	ExpAdv   = "adversarial"
 	ExpObf   = "obfuscation"
+	ExpQuant = "quant"
 )
 
 // Experiments lists every runnable experiment id in presentation order.
@@ -32,7 +33,7 @@ func Experiments() []string {
 	return []string{
 		ExpFig3, ExpFig4, ExpFig6, ExpFig7, ExpFig8, ExpFig9,
 		ExpFig10, ExpFig13, ExpFig14, ExpFig15, ExpCrawl, ExpAsync,
-		ExpAdv, ExpObf,
+		ExpAdv, ExpObf, ExpQuant,
 	}
 }
 
@@ -52,6 +53,7 @@ var titles = map[string]string{
 	ExpAsync: "§1/§6 — async classification with memoization",
 	ExpAdv:   "§6/§7 — adversarial (FGSM) exposure probe",
 	ExpObf:   "§2.2/§7 — overlay-mask obfuscation vs element-based blocking",
+	ExpQuant: "INT8 — quantized engine vs FP32 (accuracy delta, latency)",
 }
 
 // Title returns the human-readable title for an experiment id.
@@ -92,6 +94,8 @@ func (h *Harness) Run(id string) (Tabler, error) {
 		return h.Adversarial()
 	case ExpObf:
 		return h.Obfuscation()
+	case ExpQuant:
+		return h.Quant()
 	default:
 		return nil, fmt.Errorf("eval: unknown experiment %q (known: %v)", id, Experiments())
 	}

@@ -1,0 +1,155 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// resizeBilinearRef is the float64 reference implementation (the pre-table
+// scalar code), kept for equivalence testing and the speedup benchmark.
+func resizeBilinearRef(src, dst *Bitmap) {
+	w, h := dst.W, dst.H
+	if src.W == w && src.H == h {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	xRatio := float64(src.W-1) / float64(maxInt(w-1, 1))
+	yRatio := float64(src.H-1) / float64(maxInt(h-1, 1))
+	for y := 0; y < h; y++ {
+		sy := float64(y) * yRatio
+		y0 := int(sy)
+		y1 := y0 + 1
+		if y1 >= src.H {
+			y1 = src.H - 1
+		}
+		fy := sy - float64(y0)
+		for x := 0; x < w; x++ {
+			sx := float64(x) * xRatio
+			x0 := int(sx)
+			x1 := x0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			fx := sx - float64(x0)
+			di := (y*w + x) * 4
+			for c := 0; c < 4; c++ {
+				p00 := float64(src.Pix[(y0*src.W+x0)*4+c])
+				p01 := float64(src.Pix[(y0*src.W+x1)*4+c])
+				p10 := float64(src.Pix[(y1*src.W+x0)*4+c])
+				p11 := float64(src.Pix[(y1*src.W+x1)*4+c])
+				top := p00 + (p01-p00)*fx
+				bot := p10 + (p11-p10)*fx
+				dst.Pix[di+c] = uint8(top + (bot-top)*fy + 0.5)
+			}
+		}
+	}
+}
+
+func randomBitmap(rng *rand.Rand, w, h int) *Bitmap {
+	b := NewBitmap(w, h)
+	for i := range b.Pix {
+		b.Pix[i] = uint8(rng.Intn(256))
+	}
+	return b
+}
+
+// TestResizeBilinearMatchesReference checks the fixed-point table path stays
+// within 1 intensity step of the float64 reference (8.8 weights round the
+// blend fractions) across representative shapes, including identity,
+// upscaling, and extreme aspect ratios.
+func TestResizeBilinearMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := [][4]int{
+		{640, 480, 224, 224}, {64, 64, 64, 64}, {30, 20, 224, 224},
+		{224, 224, 32, 32}, {3, 500, 32, 32}, {500, 3, 64, 16}, {1, 1, 16, 16},
+	}
+	for _, cse := range cases {
+		src := randomBitmap(rng, cse[0], cse[1])
+		want := NewBitmap(cse[2], cse[3])
+		resizeBilinearRef(src, want)
+		got := NewBitmap(cse[2], cse[3])
+		ResizeBilinearInto(src, got)
+		for i := range want.Pix {
+			if d := math.Abs(float64(int(got.Pix[i]) - int(want.Pix[i]))); d > 1 {
+				t.Fatalf("%v: pix[%d]=%d reference %d (diff %v > 1)", cse, i, got.Pix[i], want.Pix[i], d)
+			}
+		}
+	}
+}
+
+// TestResizeBilinearIntoNoAllocs checks the steady-state resize (tables
+// cached) performs no heap allocation — it sits on the zero-alloc Classify
+// path.
+func TestResizeBilinearIntoNoAllocs(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(32))
+	src := randomBitmap(rng, 300, 200)
+	dst := NewBitmap(224, 224)
+	ResizeBilinearInto(src, dst) // warm the table cache
+	allocs := testing.AllocsPerRun(10, func() {
+		ResizeBilinearInto(src, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ResizeBilinearInto allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestResizeBilinearConcurrent exercises the table cache from multiple
+// goroutines (run under -race in the imaging test sweep).
+func TestResizeBilinearConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	src := randomBitmap(rng, 123, 77)
+	want := NewBitmap(224, 224)
+	ResizeBilinearInto(src, want)
+	done := make(chan bool, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			dst := NewBitmap(224, 224)
+			for i := 0; i < 20; i++ {
+				ResizeBilinearInto(src, dst)
+			}
+			ok := true
+			for i := range want.Pix {
+				if dst.Pix[i] != want.Pix[i] {
+					ok = false
+					break
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent resize mismatch")
+		}
+	}
+}
+
+// BenchmarkResizeBilinearInto measures the per-frame scaling cost on the
+// classification pre-processing path (typical decoded frame → 224×224).
+func BenchmarkResizeBilinearInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	src := randomBitmap(rng, 640, 480)
+	dst := NewBitmap(224, 224)
+	ResizeBilinearInto(src, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResizeBilinearInto(src, dst)
+	}
+}
+
+// BenchmarkResizeBilinearRef benchmarks the float64 reference loop for the
+// speedup comparison recorded in PERFORMANCE.md.
+func BenchmarkResizeBilinearRef(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	src := randomBitmap(rng, 640, 480)
+	dst := NewBitmap(224, 224)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resizeBilinearRef(src, dst)
+	}
+}

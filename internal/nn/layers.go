@@ -99,9 +99,11 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // MaxPool is a square max-pooling layer.
 type MaxPool struct {
-	name    string
-	Spec    tensor.PoolSpec
-	argmax  []int32
+	name string
+	Spec tensor.PoolSpec
+	// argmaxP is pooled scratch (tensor.GetScratchI32) held between
+	// Forward(train=true) and Backward, like the other cross-call scratch.
+	argmaxP *[]int32
 	inShape []int
 }
 
@@ -113,19 +115,34 @@ func NewMaxPool(name string, k, stride int) *MaxPool {
 // Name implements Layer.
 func (m *MaxPool) Name() string { return m.name }
 
-// Forward implements Layer.
+// Forward implements Layer. The inference path skips argmax bookkeeping
+// entirely; the training path draws the argmax buffer from the shared
+// int32 scratch pool and returns it in Backward.
 func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y, arg := tensor.MaxPoolForward(x, m.Spec)
-	if train {
-		m.argmax = arg
-		m.inShape = append([]int(nil), x.Shape...)
+	oh, ow := m.Spec.OutSize(x.Shape[2], x.Shape[3])
+	y := tensor.New(x.Shape[0], x.Shape[1], oh, ow)
+	if !train {
+		tensor.MaxPoolForwardInto(x, m.Spec, y)
+		return y
 	}
+	if m.argmaxP != nil { // forward without backward: recycle the old scratch
+		tensor.PutScratchI32(m.argmaxP)
+	}
+	m.argmaxP = tensor.GetScratchI32(y.Len())
+	tensor.MaxPoolForwardArgmax(x, m.Spec, y, *m.argmaxP)
+	m.inShape = append(m.inShape[:0], x.Shape...)
 	return y
 }
 
 // Backward implements Layer.
 func (m *MaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return tensor.MaxPoolBackward(dy, m.argmax, m.inShape)
+	if m.argmaxP == nil {
+		panic("nn: maxpool backward without forward(train=true)")
+	}
+	dx := tensor.MaxPoolBackward(dy, *m.argmaxP, m.inShape)
+	tensor.PutScratchI32(m.argmaxP)
+	m.argmaxP = nil
+	return dx
 }
 
 // Params implements Layer.

@@ -1,0 +1,455 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"percival/internal/tensor"
+)
+
+// This file implements the post-training INT8 inference engine: a
+// QuantizedSequential mirrors Sequential.ForwardInfer — arena-backed,
+// zero-alloc steady state, fused conv+bias+ReLU in the requantize pass, 1×1
+// fast path and direct-to-concat fire expands — but carries activations as
+// u8 (≤ tensor.QMaxU8) and weights as per-output-channel s8, accumulating in
+// int32 through tensor.QGemm.
+//
+// Quantize performs the calibration pass: it replays the FP32 network over a
+// calibration set, records per-quant-point activation ranges, and folds
+// every scale, bias, and zero-point compensation into two per-channel
+// constants (mult, beta) consumed by the fused requantize epilogue, so the
+// hot path touches no quantization arithmetic beyond one FMA per element.
+
+// qAct is a quantized activation tensor threaded between ops. The backing
+// buffer belongs to the inference arena.
+type qAct struct {
+	data       []uint8
+	n, c, h, w int
+}
+
+func (x qAct) imageLen() int { return x.c * x.h * x.w }
+
+// qOp is one stage of the quantized pipeline.
+type qOp interface {
+	forward(x qAct, a *tensor.Arena) qAct
+}
+
+// QuantizedSequential is the INT8 counterpart of a Sequential restricted to
+// the inference-path layer vocabulary (Conv2D[+ReLU], Fire, MaxPool,
+// Dropout, final Conv2D, GlobalAvgPool). Build one with Quantize.
+type QuantizedSequential struct {
+	inQ     tensor.QuantParams
+	ops     []qOp
+	final   *qFinal
+	classes int
+}
+
+// Classes returns the output class count.
+func (q *QuantizedSequential) Classes() int { return q.classes }
+
+// InputQuant exposes the calibrated input quantization parameters.
+func (q *QuantizedSequential) InputQuant() tensor.QuantParams { return q.inQ }
+
+// SizeBytes returns the quantized weight footprint (s8 weights plus the
+// per-channel requantization constants), the number that shrinks 4× from
+// the FP32 model.
+func (q *QuantizedSequential) SizeBytes() int {
+	total := 0
+	addConv := func(c *qConv) { total += len(c.wq) + 8*len(c.mult) }
+	for _, op := range q.ops {
+		switch o := op.(type) {
+		case *qConv:
+			addConv(o)
+		case *qFire:
+			addConv(o.squeeze)
+			addConv(o.expand1)
+			addConv(o.expand3)
+		}
+	}
+	total += len(q.final.wq) + 8*len(q.final.mult)
+	return total
+}
+
+// ForwardInfer runs a quantized forward pass drawing every buffer from a.
+// It accepts the same [N,C,H,W] float32 input as the FP32 path (quantization
+// happens at the entry) and returns arena-owned logits [N, classes]: copy
+// out what you need, then PutTensor.
+func (q *QuantizedSequential) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: QuantizedSequential: input shape %s, want [N,C,H,W]", shapeStr(x.Shape)))
+	}
+	cur := qAct{
+		data: a.GetU8(len(x.Data)),
+		n:    x.Shape[0], c: x.Shape[1], h: x.Shape[2], w: x.Shape[3],
+	}
+	tensor.QuantizeU8(cur.data, x.Data, q.inQ)
+	for _, op := range q.ops {
+		cur = op.forward(cur, a)
+	}
+	return q.final.forward(cur, a)
+}
+
+// PredictArena runs quantized inference and returns per-sample class
+// probabilities ([N,C]) in an arena-owned tensor — the INT8 counterpart of
+// nn.PredictArena.
+func (q *QuantizedSequential) PredictArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	logits := q.ForwardInfer(x, a)
+	probs := a.GetTensor(logits.Shape[0], logits.Shape[1])
+	tensor.SoftmaxInto(logits, probs.Data)
+	a.PutTensor(logits)
+	return probs
+}
+
+// qConv is a quantized convolution with bias and ReLU fused into the
+// requantize epilogue.
+type qConv struct {
+	spec tensor.ConvSpec
+	wq   []int8
+	// mult/beta fold sW·sIn/sOut and bias − sW·sIn·zIn·Σw (plus zOut) per
+	// output channel; see Quantize.
+	mult, beta []float32
+	relu       bool
+	inZP       uint8
+	outZero    int32
+}
+
+// runInto computes the convolution into channels [chOff, chOff+OutC) of the
+// u8 output buffer y laid out [n, dstC, oh, ow] — the direct-to-concat hook
+// used by the fire module.
+func (c *qConv) runInto(x qAct, y []uint8, dstC, chOff int, a *tensor.Arena) (oh, ow int) {
+	if x.c != c.spec.InC {
+		panic(fmt.Sprintf("nn: quantized conv: input has %d channels, want %d", x.c, c.spec.InC))
+	}
+	oh, ow = c.spec.OutSize(x.h, x.w)
+	spatial := oh * ow
+	k := c.spec.InC * c.spec.KH * c.spec.KW
+	var col []uint8
+	if n := c.spec.ColScratchLen(x.h, x.w); n > 0 {
+		col = a.GetU8(n)
+	}
+	acc := a.GetI32(c.spec.OutC * spatial)
+	il := x.imageLen()
+	for i := 0; i < x.n; i++ {
+		img := x.data[i*il : (i+1)*il]
+		src := img
+		if col != nil {
+			tensor.Im2colU8(img, x.c, x.h, x.w, c.spec, col, c.inZP)
+			src = col
+		}
+		tensor.QGemm(c.wq, src, acc, c.spec.OutC, k, spatial)
+		out := y[(i*dstC+chOff)*spatial:]
+		for oc := 0; oc < c.spec.OutC; oc++ {
+			tensor.RequantizeU8(out[oc*spatial:oc*spatial+spatial],
+				acc[oc*spatial:(oc+1)*spatial], c.mult[oc], c.beta[oc], c.outZero, c.relu)
+		}
+	}
+	if col != nil {
+		a.PutU8(col)
+	}
+	a.PutI32(acc)
+	return oh, ow
+}
+
+func (c *qConv) forward(x qAct, a *tensor.Arena) qAct {
+	oh, ow := c.spec.OutSize(x.h, x.w)
+	y := a.GetU8(x.n * c.spec.OutC * oh * ow)
+	c.runInto(x, y, c.spec.OutC, 0, a)
+	a.PutU8(x.data)
+	return qAct{data: y, n: x.n, c: c.spec.OutC, h: oh, w: ow}
+}
+
+// qFire runs a quantized fire module: squeeze, then both expand branches
+// written straight into their slots of the concatenated output. Both expands
+// requantize into the shared quantization parameters of the concatenated
+// tensor, so the concat is free.
+type qFire struct {
+	squeeze, expand1, expand3 *qConv
+}
+
+func (f *qFire) forward(x qAct, a *tensor.Arena) qAct {
+	s := f.squeeze.forward(x, a)
+	e1, e3 := f.expand1.spec.OutC, f.expand3.spec.OutC
+	y := a.GetU8(s.n * (e1 + e3) * s.h * s.w)
+	f.expand1.runInto(s, y, e1+e3, 0, a)
+	f.expand3.runInto(s, y, e1+e3, e1, a)
+	a.PutU8(s.data)
+	return qAct{data: y, n: s.n, c: e1 + e3, h: s.h, w: s.w}
+}
+
+// qPool max-pools in the quantized domain; quantization parameters pass
+// through unchanged (max commutes with the monotonic dequantization map).
+type qPool struct {
+	spec tensor.PoolSpec
+}
+
+func (p *qPool) forward(x qAct, a *tensor.Arena) qAct {
+	oh, ow := p.spec.OutSize(x.h, x.w)
+	y := a.GetU8(x.n * x.c * oh * ow)
+	tensor.MaxPoolU8Into(x.data, x.n, x.c, x.h, x.w, p.spec, y)
+	a.PutU8(x.data)
+	return qAct{data: y, n: x.n, c: x.c, h: oh, w: ow}
+}
+
+// qFinal is the classifier convolution fused with global average pooling:
+// the int32 accumulators are averaged per channel and mapped straight to
+// FP32 logits (GAP and the affine dequantization commute), so the network
+// leaves the quantized domain exactly once, on C·N values.
+type qFinal struct {
+	spec       tensor.ConvSpec
+	wq         []int8
+	mult, beta []float32
+	inZP       uint8
+}
+
+func (f *qFinal) forward(x qAct, a *tensor.Arena) *tensor.Tensor {
+	oh, ow := f.spec.OutSize(x.h, x.w)
+	spatial := oh * ow
+	k := f.spec.InC * f.spec.KH * f.spec.KW
+	var col []uint8
+	if n := f.spec.ColScratchLen(x.h, x.w); n > 0 {
+		col = a.GetU8(n)
+	}
+	acc := a.GetI32(f.spec.OutC * spatial)
+	out := a.GetTensor(x.n, f.spec.OutC)
+	il := x.imageLen()
+	inv := 1 / float32(spatial)
+	for i := 0; i < x.n; i++ {
+		img := x.data[i*il : (i+1)*il]
+		src := img
+		if col != nil {
+			tensor.Im2colU8(img, x.c, x.h, x.w, f.spec, col, f.inZP)
+			src = col
+		}
+		tensor.QGemm(f.wq, src, acc, f.spec.OutC, k, spatial)
+		for oc := 0; oc < f.spec.OutC; oc++ {
+			var sum int64
+			for _, v := range acc[oc*spatial : (oc+1)*spatial] {
+				sum += int64(v)
+			}
+			out.Data[i*f.spec.OutC+oc] = f.mult[oc]*float32(sum)*inv + f.beta[oc]
+		}
+	}
+	if col != nil {
+		a.PutU8(col)
+	}
+	a.PutI32(acc)
+	a.PutU8(x.data)
+	return out
+}
+
+// observer tracks the real-valued range of one quantization point.
+type observer struct {
+	min, max float32
+	seen     bool
+}
+
+func (o *observer) observe(data []float32) {
+	for _, v := range data {
+		if !o.seen {
+			o.min, o.max, o.seen = v, v, true
+			continue
+		}
+		if v < o.min {
+			o.min = v
+		}
+		if v > o.max {
+			o.max = v
+		}
+	}
+}
+
+func (o *observer) params() tensor.QuantParams {
+	return tensor.ChooseQuantParams(o.min, o.max)
+}
+
+// calibNode is one stage of the parsed FP32 network with the observers that
+// watch its outputs during calibration.
+type calibNode struct {
+	conv  *Conv2D  // fused conv(+ReLU) or final conv
+	relu  bool     // ReLU fused after conv
+	fire  *Fire    // fire module
+	pool  *MaxPool // max pooling
+	out   observer // output range (conv / fire concat)
+	sqOut observer // fire squeeze output range
+}
+
+// Quantize builds the INT8 engine from a trained FP32 network, calibrating
+// activation ranges on the given input tensors (each [N,C,H,W]; a handful of
+// representative frames suffices). The FP32 network is not modified.
+func Quantize(net *Sequential, calib []*tensor.Tensor) (*QuantizedSequential, error) {
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("nn: Quantize: empty calibration set")
+	}
+	nodes, finalConv, classes, err := parseQuantizable(net)
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibration: replay the FP32 inference path, recording the range of
+	// every tensor that will live in the quantized domain.
+	var inObs observer
+	for _, x := range calib {
+		if len(x.Shape) != 4 {
+			return nil, fmt.Errorf("nn: Quantize: calibration tensor shape %v, want [N,C,H,W]", x.Shape)
+		}
+		inObs.observe(x.Data)
+		cur := x
+		for _, nd := range nodes {
+			switch {
+			case nd.conv != nil:
+				y := nd.conv.Forward(cur, false)
+				if nd.relu {
+					reluInPlace(y.Data)
+				}
+				nd.out.observe(y.Data)
+				cur = y
+			case nd.fire != nil:
+				s := nd.fire.Squeeze.Forward(cur, false)
+				reluInPlace(s.Data)
+				nd.sqOut.observe(s.Data)
+				e1 := nd.fire.Expand1.Forward(s, false)
+				reluInPlace(e1.Data)
+				e3 := nd.fire.Expand3.Forward(s, false)
+				reluInPlace(e3.Data)
+				y := concatChannels(e1, e3)
+				nd.out.observe(y.Data)
+				cur = y
+			case nd.pool != nil:
+				cur = nd.pool.Forward(cur, false)
+			}
+		}
+	}
+
+	// Assemble the quantized ops, threading each stage's output params into
+	// the next stage's input params.
+	q := &QuantizedSequential{inQ: inObs.params(), classes: classes}
+	curQ := q.inQ
+	for _, nd := range nodes {
+		switch {
+		case nd.conv != nil:
+			outQ := nd.out.params()
+			q.ops = append(q.ops, buildQConv(nd.conv, curQ, outQ, nd.relu))
+			curQ = outQ
+		case nd.fire != nil:
+			sqQ := nd.sqOut.params()
+			outQ := nd.out.params()
+			q.ops = append(q.ops, &qFire{
+				squeeze: buildQConv(nd.fire.Squeeze, curQ, sqQ, true),
+				expand1: buildQConv(nd.fire.Expand1, sqQ, outQ, true),
+				expand3: buildQConv(nd.fire.Expand3, sqQ, outQ, true),
+			})
+			curQ = outQ
+		case nd.pool != nil:
+			q.ops = append(q.ops, &qPool{spec: nd.pool.Spec})
+		}
+	}
+	q.final = buildQFinal(finalConv, curQ)
+	return q, nil
+}
+
+// parseQuantizable walks the layer list and checks it matches the supported
+// inference topology.
+func parseQuantizable(net *Sequential) (nodes []*calibNode, finalConv *Conv2D, classes int, err error) {
+	layers := net.Layers
+	if len(layers) < 2 {
+		return nil, nil, 0, fmt.Errorf("nn: Quantize: network too short")
+	}
+	last := layers[len(layers)-1]
+	if _, ok := last.(*GlobalAvgPool); !ok {
+		return nil, nil, 0, fmt.Errorf("nn: Quantize: network must end in GlobalAvgPool, got %T", last)
+	}
+	body := layers[:len(layers)-1]
+	for i := 0; i < len(body); i++ {
+		switch l := body[i].(type) {
+		case *Conv2D:
+			relu := false
+			if i+1 < len(body) {
+				if _, ok := body[i+1].(*ReLU); ok {
+					relu = true
+					i++
+				}
+			}
+			if !relu && i == len(body)-1 {
+				finalConv = l
+				classes = l.Spec.OutC
+				continue
+			}
+			if !relu {
+				return nil, nil, 0, fmt.Errorf("nn: Quantize: conv %s without ReLU is only supported as the classifier head", l.Name())
+			}
+			nodes = append(nodes, &calibNode{conv: l, relu: true})
+		case *Fire:
+			nodes = append(nodes, &calibNode{fire: l})
+		case *MaxPool:
+			nodes = append(nodes, &calibNode{pool: l})
+		case *Dropout:
+			// identity at inference
+		default:
+			return nil, nil, 0, fmt.Errorf("nn: Quantize: unsupported layer %T (%s)", l, l.Name())
+		}
+	}
+	if finalConv == nil {
+		return nil, nil, 0, fmt.Errorf("nn: Quantize: no classifier convolution before GlobalAvgPool")
+	}
+	return nodes, finalConv, classes, nil
+}
+
+// buildQConv quantizes one convolution's weights and folds its requantize
+// constants.
+func buildQConv(c *Conv2D, inQ, outQ tensor.QuantParams, relu bool) *qConv {
+	k := c.Spec.InC * c.Spec.KH * c.Spec.KW
+	wq, ws, wsum := tensor.QuantizeWeightsPerChannel(c.Wt.W.Data, c.Spec.OutC, k)
+	mult := make([]float32, c.Spec.OutC)
+	beta := make([]float32, c.Spec.OutC)
+	for oc := range mult {
+		m := ws[oc] * inQ.Scale
+		mult[oc] = m / outQ.Scale
+		beta[oc] = (c.Bias.W.Data[oc]-m*float32(inQ.Zero)*float32(wsum[oc]))/outQ.Scale + float32(outQ.Zero)
+	}
+	return &qConv{
+		spec: c.Spec, wq: wq, mult: mult, beta: beta,
+		relu: relu, inZP: uint8(inQ.Zero), outZero: outQ.Zero,
+	}
+}
+
+// buildQFinal quantizes the classifier convolution, whose epilogue maps
+// accumulators straight to FP32 logits.
+func buildQFinal(c *Conv2D, inQ tensor.QuantParams) *qFinal {
+	k := c.Spec.InC * c.Spec.KH * c.Spec.KW
+	wq, ws, wsum := tensor.QuantizeWeightsPerChannel(c.Wt.W.Data, c.Spec.OutC, k)
+	mult := make([]float32, c.Spec.OutC)
+	beta := make([]float32, c.Spec.OutC)
+	for oc := range mult {
+		mult[oc] = ws[oc] * inQ.Scale
+		beta[oc] = c.Bias.W.Data[oc] - mult[oc]*float32(inQ.Zero)*float32(wsum[oc])
+	}
+	return &qFinal{spec: c.Spec, wq: wq, mult: mult, beta: beta, inZP: uint8(inQ.Zero)}
+}
+
+func reluInPlace(data []float32) {
+	for i, v := range data {
+		if v < 0 {
+			data[i] = 0
+		}
+	}
+}
+
+// TopAgreement computes the fraction of samples whose argmax class matches
+// between two probability (or logit) tensors of shape [N,C] — the
+// accuracy-parity metric gating the quantized mode.
+func TopAgreement(a, b *tensor.Tensor) float64 {
+	if !a.SameShape(b) || len(a.Shape) != 2 {
+		panic(fmt.Sprintf("nn: TopAgreement: shapes %v vs %v", a.Shape, b.Shape))
+	}
+	n, c := a.Shape[0], a.Shape[1]
+	if n == 0 {
+		return math.NaN()
+	}
+	agree := 0
+	for i := 0; i < n; i++ {
+		if tensor.Argmax(a.Data[i*c:(i+1)*c]) == tensor.Argmax(b.Data[i*c:(i+1)*c]) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(n)
+}

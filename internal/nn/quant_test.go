@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"percival/internal/tensor"
+)
+
+// calibSet builds a small random calibration set matching the test network's
+// input shape.
+func calibSet(rng *rand.Rand, n, c, h, w, count int) []*tensor.Tensor {
+	set := make([]*tensor.Tensor, count)
+	for i := range set {
+		x := tensor.New(n, c, h, w)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.Float64()) // [0,1), like decoded RGBA planes
+		}
+		set[i] = x
+	}
+	return set
+}
+
+// TestQuantizedMatchesFloat checks the INT8 path tracks the FP32 path: class
+// probabilities within quantization tolerance and ≥99% top-1 agreement over
+// a random input set.
+func TestQuantizedMatchesFloat(t *testing.T) {
+	net := buildTestNet(t)
+	rng := rand.New(rand.NewSource(21))
+	qnet, err := Quantize(net, calibSet(rng, 4, 3, 12, 12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.NewArena()
+	agree, total := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		x := tensor.New(2, 3, 12, 12)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.Float64())
+		}
+		want := Predict(net, x)
+		got := qnet.PredictArena(x, a)
+		n, c := want.Shape[0], want.Shape[1]
+		for i := 0; i < n; i++ {
+			total++
+			if tensor.Argmax(want.Data[i*c:(i+1)*c]) == tensor.Argmax(got.Data[i*c:(i+1)*c]) {
+				agree++
+			}
+			for j := 0; j < c; j++ {
+				d := math.Abs(float64(want.Data[i*c+j] - got.Data[i*c+j]))
+				if d > 0.15 {
+					t.Fatalf("trial %d sample %d: prob[%d] fp32 %.4f int8 %.4f (diff %.4f)",
+						trial, i, j, want.Data[i*c+j], got.Data[i*c+j], d)
+				}
+			}
+		}
+		a.PutTensor(got)
+	}
+	if frac := float64(agree) / float64(total); frac < 0.99 {
+		t.Fatalf("top-1 agreement %.3f < 0.99 (%d/%d)", frac, agree, total)
+	}
+}
+
+// TestQuantizedForwardZeroAllocSteadyState verifies the quantized forward
+// pass performs no heap allocation once the arena is warm.
+func TestQuantizedForwardZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	net := buildTestNet(t)
+	rng := rand.New(rand.NewSource(22))
+	qnet, err := Quantize(net, calibSet(rng, 1, 3, 12, 12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, 12, 12)
+	a := tensor.NewArena()
+	warm := qnet.PredictArena(x, a)
+	a.PutTensor(warm)
+	allocs := testing.AllocsPerRun(10, func() {
+		probs := qnet.PredictArena(x, a)
+		a.PutTensor(probs)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state quantized PredictArena allocates %v times per pass, want 0", allocs)
+	}
+}
+
+// TestQuantizedConcurrentArenas runs quantized inference from several
+// goroutines, each with its own pooled arena (exercised under -race by make
+// check), checking results stay bit-identical across goroutines.
+func TestQuantizedConcurrentArenas(t *testing.T) {
+	net := buildTestNet(t)
+	rng := rand.New(rand.NewSource(23))
+	qnet, err := Quantize(net, calibSet(rng, 2, 3, 12, 12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, 12, 12)
+	for i := range x.Data {
+		x.Data[i] = float32(i%17) / 17
+	}
+	ref := tensor.NewArena()
+	wantT := qnet.PredictArena(x, ref)
+	want := append([]float32(nil), wantT.Data...)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for iter := 0; iter < 20; iter++ {
+				a := tensor.GetArena()
+				probs := qnet.PredictArena(x, a)
+				for i := range want {
+					if probs.Data[i] != want[i] {
+						done <- errMismatch
+						return
+					}
+				}
+				a.PutTensor(probs)
+				tensor.PutArena(a)
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuantizeRejectsUnsupported checks topology validation: networks that
+// do not match the inference vocabulary are refused rather than silently
+// misquantized.
+func TestQuantizeRejectsUnsupported(t *testing.T) {
+	calib := calibSet(rand.New(rand.NewSource(24)), 1, 3, 8, 8, 1)
+	if _, err := Quantize(NewSequential(NewReLU("r"), NewGlobalAvgPool("gap")), calib); err == nil {
+		t.Fatal("expected error for network without classifier conv")
+	}
+	net := NewSequential(
+		NewConv2D("c", tensor.ConvSpec{InC: 3, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		NewReLU("r"),
+	)
+	if _, err := Quantize(net, calib); err == nil {
+		t.Fatal("expected error for network not ending in GlobalAvgPool")
+	}
+	ok := NewSequential(
+		NewConv2D("c", tensor.ConvSpec{InC: 3, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}),
+		NewReLU("r"),
+		NewConv2D("head", tensor.ConvSpec{InC: 4, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}),
+		NewGlobalAvgPool("gap"),
+	)
+	InitHe(ok, rand.New(rand.NewSource(25)))
+	if _, err := Quantize(ok, calib); err != nil {
+		t.Fatalf("minimal conv+head network should quantize: %v", err)
+	}
+	if _, err := Quantize(ok, nil); err == nil {
+		t.Fatal("expected error for empty calibration set")
+	}
+}
+
+// TestQuantizedBatchMatchesSingle checks batched quantized inference agrees
+// with per-sample inference (the ClassifyBatch path).
+func TestQuantizedBatchMatchesSingle(t *testing.T) {
+	net := buildTestNet(t)
+	rng := rand.New(rand.NewSource(26))
+	qnet, err := Quantize(net, calibSet(rng, 2, 3, 12, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 3
+	xb := tensor.New(batch, 3, 12, 12)
+	for i := range xb.Data {
+		xb.Data[i] = float32(rng.Float64())
+	}
+	a := tensor.NewArena()
+	got := qnet.PredictArena(xb, a)
+	per := 3 * 12 * 12
+	for i := 0; i < batch; i++ {
+		x1 := tensor.FromSlice(append([]float32(nil), xb.Data[i*per:(i+1)*per]...), 1, 3, 12, 12)
+		p1 := qnet.PredictArena(x1, a)
+		for j := 0; j < got.Shape[1]; j++ {
+			if d := math.Abs(float64(p1.Data[j] - got.Data[i*got.Shape[1]+j])); d > 1e-6 {
+				t.Fatalf("sample %d class %d: batch %v single %v", i, j, got.Data[i*got.Shape[1]+j], p1.Data[j])
+			}
+		}
+		a.PutTensor(p1)
+	}
+	a.PutTensor(got)
+}

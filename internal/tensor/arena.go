@@ -17,12 +17,18 @@ import "sync"
 //   - Buffers are returned uncleared: callers must fully overwrite them.
 type Arena struct {
 	free    map[int][][]float32
+	freeU8  map[int][][]uint8
+	freeI32 map[int][][]int32
 	headers []*Tensor
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena {
-	return &Arena{free: make(map[int][][]float32)}
+	return &Arena{
+		free:    make(map[int][][]float32),
+		freeU8:  make(map[int][][]uint8),
+		freeI32: make(map[int][][]int32),
+	}
 }
 
 // Get returns an uncleared buffer of length n, reusing a previously Put
@@ -43,6 +49,46 @@ func (a *Arena) Put(buf []float32) {
 	}
 	buf = buf[:cap(buf)]
 	a.free[len(buf)] = append(a.free[len(buf)], buf)
+}
+
+// GetU8 returns an uncleared byte buffer of length n from the arena — the
+// quantized-activation counterpart of Get. Same ownership rules.
+func (a *Arena) GetU8(n int) []uint8 {
+	if l := a.freeU8[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		a.freeU8[n] = l[:len(l)-1]
+		return buf
+	}
+	return make([]uint8, n)
+}
+
+// PutU8 returns a buffer obtained from GetU8 to the free list.
+func (a *Arena) PutU8(buf []uint8) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	a.freeU8[len(buf)] = append(a.freeU8[len(buf)], buf)
+}
+
+// GetI32 returns an uncleared int32 buffer of length n from the arena — the
+// quantized-accumulator counterpart of Get. Same ownership rules.
+func (a *Arena) GetI32(n int) []int32 {
+	if l := a.freeI32[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		a.freeI32[n] = l[:len(l)-1]
+		return buf
+	}
+	return make([]int32, n)
+}
+
+// PutI32 returns a buffer obtained from GetI32 to the free list.
+func (a *Arena) PutI32(buf []int32) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	a.freeI32[len(buf)] = append(a.freeI32[len(buf)], buf)
 }
 
 // GetTensor returns an arena-owned tensor with the given shape and uncleared
@@ -103,3 +149,62 @@ func GetScratch(n int) *[]float32 {
 
 // PutScratch returns a buffer obtained from GetScratch to the pool.
 func PutScratch(p *[]float32) { scratchPool.Put(p) }
+
+// Typed scratch pools for the quantized kernels and the training path; same
+// pointer-boxing scheme as scratchPool so steady-state Put allocates nothing.
+var (
+	scratchPoolU8  sync.Pool
+	scratchPoolI8  sync.Pool
+	scratchPoolI32 sync.Pool
+)
+
+// GetScratchU8 returns a pointer to an uncleared byte scratch buffer of
+// length n. Release with PutScratchU8.
+func GetScratchU8(n int) *[]uint8 {
+	p, _ := scratchPoolU8.Get().(*[]uint8)
+	if p == nil {
+		p = new([]uint8)
+	}
+	if cap(*p) < n {
+		*p = make([]uint8, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutScratchU8 returns a buffer obtained from GetScratchU8 to the pool.
+func PutScratchU8(p *[]uint8) { scratchPoolU8.Put(p) }
+
+// GetScratchI8 returns a pointer to an uncleared int8 scratch buffer of
+// length n. Release with PutScratchI8.
+func GetScratchI8(n int) *[]int8 {
+	p, _ := scratchPoolI8.Get().(*[]int8)
+	if p == nil {
+		p = new([]int8)
+	}
+	if cap(*p) < n {
+		*p = make([]int8, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutScratchI8 returns a buffer obtained from GetScratchI8 to the pool.
+func PutScratchI8(p *[]int8) { scratchPoolI8.Put(p) }
+
+// GetScratchI32 returns a pointer to an uncleared int32 scratch buffer of
+// length n. Release with PutScratchI32.
+func GetScratchI32(n int) *[]int32 {
+	p, _ := scratchPoolI32.Get().(*[]int32)
+	if p == nil {
+		p = new([]int32)
+	}
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutScratchI32 returns a buffer obtained from GetScratchI32 to the pool.
+func PutScratchI32(p *[]int32) { scratchPoolI32.Put(p) }

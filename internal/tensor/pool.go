@@ -25,10 +25,28 @@ func (p PoolSpec) OutSize(h, w int) (oh, ow int) {
 // linear argmax index of each output element (into x.Data) so the backward
 // pass can route gradients. Padded positions are -inf and never win.
 func MaxPoolForward(x *Tensor, p PoolSpec) (y *Tensor, argmax []int32) {
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	oh, ow := p.OutSize(h, w)
+	n, c := x.Shape[0], x.Shape[1]
+	oh, ow := p.OutSize(x.Shape[2], x.Shape[3])
 	y = New(n, c, oh, ow)
 	argmax = make([]int32, y.Len())
+	MaxPoolForwardArgmax(x, p, y, argmax)
+	return y, argmax
+}
+
+// MaxPoolForwardArgmax is the scratch-friendly body of MaxPoolForward: it
+// pools into the caller-provided y ([N,C,outH,outW]) and argmax (y.Len()
+// elements), allocating nothing. The training path routes argmax through
+// GetScratchI32/PutScratchI32 so repeated forward/backward cycles reuse one
+// buffer instead of allocating per call.
+func MaxPoolForwardArgmax(x *Tensor, p PoolSpec, y *Tensor, argmax []int32) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if y.Shape[0] != n || y.Shape[1] != c || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: MaxPoolForwardArgmax: output shape %v, want [%d,%d,%d,%d]", y.Shape, n, c, oh, ow))
+	}
+	if len(argmax) < y.Len() {
+		panic(fmt.Sprintf("tensor: MaxPoolForwardArgmax: argmax has %d elements, need %d", len(argmax), y.Len()))
+	}
 	oi := 0
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -61,7 +79,6 @@ func MaxPoolForward(x *Tensor, p PoolSpec) (y *Tensor, argmax []int32) {
 			}
 		}
 	}
-	return y, argmax
 }
 
 // MaxPoolForwardInto computes max pooling into a caller-provided output

@@ -1,0 +1,309 @@
+package tensor
+
+import "runtime"
+
+// Quantized-GEMM tuning knobs. The driver mirrors the FP32 blocked GEMM
+// (gemm.go) — same three-level blocking, same worker pool — but the packed
+// layout groups the K dimension into quads of 4 bytes, matching the AVX2
+// VPMADDUBSW/VPMADDWD micro-kernel which consumes 4 k-steps per instruction
+// pair. K blocks are therefore multiples of 4; partial quads are zero-padded
+// during packing (a zero activation byte contributes nothing to the
+// accumulator, and the zero-point compensation is applied outside the GEMM).
+//
+//   - mrQTile×nrQTile is the register tile: 4 rows × 16 int32 columns = 8 YMM
+//     accumulators, plus the ones vector, two B vectors, the A broadcast and
+//     a madd temporary — 13 of the 16 YMM registers.
+//   - kcQBlock (a multiple of 4) keeps the packed A panel (4×kc bytes) and B
+//     panel (kc×16 bytes) L1-resident.
+//   - mcQBlock / ncQBlock keep the packed A block L2- and the packed B block
+//     LLC-resident; int8 data is 4× denser than float32, so the same cache
+//     budget covers 4× the logical block volume.
+const (
+	mrQTile  = 4
+	nrQTile  = 16
+	kcQBlock = 512
+	mcQBlock = 128
+	ncQBlock = 4096
+
+	qgemmParallelThreshold = 1 << 16
+	qgemmSmallThreshold    = 1 << 13
+)
+
+// QGemm computes C = A×B where A is an m×k int8 matrix (quantized weights),
+// B is a k×n uint8 matrix (quantized activations, values ≤ QMaxU8) and C is
+// an m×n int32 accumulator matrix, all row-major. C is overwritten.
+//
+// Activation values must not exceed QMaxU8: the AVX2 kernel's pairwise int16
+// accumulation relies on 2·127·127 < 2¹⁵−1 to be saturation-free.
+func QGemm(a []int8, b []uint8, c []int32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: QGemm buffer too small")
+	}
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	clear(c[:m*n])
+	if m*k*n <= qgemmSmallThreshold {
+		qgemmSmall(a, b, c, m, k, n)
+		return
+	}
+	qgemmBlocked(a, b, c, m, k, n)
+}
+
+// qgemmSmall is the unblocked path for problems too small to amortize
+// packing.
+func qgemmSmall(a []int8, b []uint8, c []int32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : i*n+n]
+		arow := a[i*k : i*k+k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			w := int32(av)
+			brow := b[p*n : p*n+n]
+			for j, bv := range brow {
+				crow[j] += w * int32(bv)
+			}
+		}
+	}
+}
+
+// qgemmBlocked runs the packed three-level blocked product. Column panels of
+// each block fan across the shared worker pool exactly like the FP32 path;
+// panels write disjoint C regions.
+func qgemmBlocked(a []int8, b []uint8, c []int32, m, k, n int) {
+	serial := m*k*n < qgemmParallelThreshold || runtime.GOMAXPROCS(0) < 2
+	for jc := 0; jc < n; jc += ncQBlock {
+		nc := min(ncQBlock, n-jc)
+		ncPanels := (nc + nrQTile - 1) / nrQTile
+		for pc := 0; pc < k; pc += kcQBlock {
+			kc := min(kcQBlock, k-pc)
+			quads := (kc + 3) / 4
+			bbufp := GetScratchU8(ncPanels * nrQTile * quads * 4)
+			bbuf := *bbufp
+			packBQuads(bbuf, b, n, pc, kc, jc, nc)
+			for ic := 0; ic < m; ic += mcQBlock {
+				mc := min(mcQBlock, m-ic)
+				mcPanels := (mc + mrQTile - 1) / mrQTile
+				abufp := GetScratchI8(mcPanels * mrQTile * quads * 4)
+				abuf := *abufp
+				packAQuads(abuf, a, k, ic, mc, pc, kc)
+				blk := qgemmBlock{
+					abuf: abuf, bbuf: bbuf, c: c,
+					ic: ic, jc: jc, quads: quads, mc: mc, nc: nc,
+					mcPanels: mcPanels, n: n,
+				}
+				if serial {
+					for jp := 0; jp < ncPanels; jp++ {
+						blk.panel(jp)
+					}
+				} else {
+					blk.parallel(ncPanels)
+				}
+				PutScratchI8(abufp)
+			}
+			PutScratchU8(bbufp)
+		}
+	}
+}
+
+// qgemmBlock carries one packed block product; panel runs the micro-kernel
+// down one nrQTile-wide column panel. Same stack/heap split as gemmBlock.
+type qgemmBlock struct {
+	abuf          []int8
+	bbuf          []uint8
+	c             []int32
+	ic, jc        int
+	quads, mc, nc int
+	mcPanels, n   int
+}
+
+func (g qgemmBlock) parallel(ncPanels int) {
+	parallelFor(ncPanels, g.panel)
+}
+
+func (g *qgemmBlock) panel(jp int) {
+	var tile [mrQTile * nrQTile]int32
+	bpanel := g.bbuf[jp*nrQTile*g.quads*4:]
+	j := g.jc + jp*nrQTile
+	cols := min(nrQTile, g.nc-jp*nrQTile)
+	for ip := 0; ip < g.mcPanels; ip++ {
+		apanel := g.abuf[ip*mrQTile*g.quads*4:]
+		i := g.ic + ip*mrQTile
+		rows := min(mrQTile, g.mc-ip*mrQTile)
+		if rows == mrQTile && cols == nrQTile {
+			qgemmKernel(g.quads, apanel, bpanel, g.c[i*g.n+j:], g.n)
+			continue
+		}
+		// Edge tile: full-size kernel into a zeroed scratch tile, then fold
+		// the valid region into C.
+		clear(tile[:])
+		qgemmKernel(g.quads, apanel, bpanel, tile[:], nrQTile)
+		for r := 0; r < rows; r++ {
+			crow := g.c[(i+r)*g.n+j:]
+			trow := tile[r*nrQTile:]
+			for t := 0; t < cols; t++ {
+				crow[t] += trow[t]
+			}
+		}
+	}
+}
+
+// packAQuads copies the mc×kc block of A at (i0, p0) into quad micro-panel
+// layout: for each panel of mrQTile rows, quad q holds rows' bytes
+// [r0 k..k+3 | r1 k..k+3 | ...], zero-padded past the last valid row and past
+// kc within the final partial quad.
+func packAQuads(dst []int8, a []int8, lda, i0, mc, p0, kc int) {
+	quads := (kc + 3) / 4
+	fullQuads := kc / 4
+	di := 0
+	for ir := 0; ir < mc; ir += mrQTile {
+		rows := min(mrQTile, mc-ir)
+		if rows == mrQTile {
+			// Full panel: copy 4-byte k-groups from the four source rows.
+			base := (i0 + ir) * lda
+			r0 := a[base+p0:]
+			r1 := a[base+lda+p0:]
+			r2 := a[base+2*lda+p0:]
+			r3 := a[base+3*lda+p0:]
+			for q := 0; q < fullQuads; q++ {
+				p := q * 4
+				out := dst[di : di+16]
+				copy(out[0:4], r0[p:p+4])
+				copy(out[4:8], r1[p:p+4])
+				copy(out[8:12], r2[p:p+4])
+				copy(out[12:16], r3[p:p+4])
+				di += 16
+			}
+			if fullQuads < quads {
+				p := fullQuads * 4
+				kq := kc - p
+				out := dst[di : di+16]
+				clear(out)
+				copy(out[0:], r0[p:p+kq])
+				copy(out[4:], r1[p:p+kq])
+				copy(out[8:], r2[p:p+kq])
+				copy(out[12:], r3[p:p+kq])
+				di += 16
+			}
+			continue
+		}
+		for q := 0; q < quads; q++ {
+			p := q * 4
+			kq := min(4, kc-p)
+			for r := 0; r < mrQTile; r++ {
+				if r < rows {
+					src := (i0+ir+r)*lda + p0 + p
+					for t := 0; t < 4; t++ {
+						if t < kq {
+							dst[di+t] = a[src+t]
+						} else {
+							dst[di+t] = 0
+						}
+					}
+				} else {
+					dst[di] = 0
+					dst[di+1] = 0
+					dst[di+2] = 0
+					dst[di+3] = 0
+				}
+				di += 4
+			}
+		}
+	}
+}
+
+// packBQuads copies the kc×nc block of B at (p0, j0) into quad micro-panel
+// layout: for each panel of nrQTile columns, quad q holds per-column byte
+// groups [c0 k..k+3 | c1 k..k+3 | ...], zero-padded past the last valid
+// column and past kc within the final partial quad.
+func packBQuads(dst []uint8, b []uint8, ldb, p0, kc, j0, nc int) {
+	quads := (kc + 3) / 4
+	di := 0
+	for jr := 0; jr < nc; jr += nrQTile {
+		cols := min(nrQTile, nc-jr)
+		if cols == nrQTile {
+			// Full panel: 4×16 byte transpose per quad, assembled as 16
+			// little-endian words (one word per column) so each column costs
+			// one 4-byte store instead of four scattered byte stores.
+			for q := 0; q < kc/4; q++ {
+				src := (p0+q*4)*ldb + j0 + jr
+				r0 := b[src : src+nrQTile]
+				r1 := b[src+ldb : src+ldb+nrQTile]
+				r2 := b[src+2*ldb : src+2*ldb+nrQTile]
+				r3 := b[src+3*ldb : src+3*ldb+nrQTile]
+				out := dst[di : di+64]
+				for j := 0; j < nrQTile; j++ {
+					w := uint32(r0[j]) | uint32(r1[j])<<8 | uint32(r2[j])<<16 | uint32(r3[j])<<24
+					out[j*4] = uint8(w)
+					out[j*4+1] = uint8(w >> 8)
+					out[j*4+2] = uint8(w >> 16)
+					out[j*4+3] = uint8(w >> 24)
+				}
+				di += 64
+			}
+			if kc%4 != 0 {
+				p := kc &^ 3
+				kq := kc - p
+				out := dst[di : di+64]
+				clear(out)
+				for t := 0; t < kq; t++ {
+					src := (p0+p+t)*ldb + j0 + jr
+					row := b[src : src+nrQTile]
+					for j := 0; j < nrQTile; j++ {
+						out[j*4+t] = row[j]
+					}
+				}
+				di += 64
+			}
+			continue
+		}
+		for q := 0; q < quads; q++ {
+			p := q * 4
+			kq := min(4, kc-p)
+			for cidx := 0; cidx < nrQTile; cidx++ {
+				if cidx < cols {
+					src := (p0+p)*ldb + j0 + jr + cidx
+					for t := 0; t < kq; t++ {
+						dst[di+t] = b[src+t*ldb]
+					}
+					for t := kq; t < 4; t++ {
+						dst[di+t] = 0
+					}
+				} else {
+					dst[di] = 0
+					dst[di+1] = 0
+					dst[di+2] = 0
+					dst[di+3] = 0
+				}
+				di += 4
+			}
+		}
+	}
+}
+
+// qgemmKernelGeneric is the portable micro-kernel over the packed quad
+// panels: the mrQTile×nrQTile int32 tile at stride ldc accumulates `quads`
+// groups of 4 rank-1 byte updates. Used on non-amd64 builds and as the
+// runtime fallback when AVX2 is unavailable.
+func qgemmKernelGeneric(quads int, a []int8, b []uint8, ctile []int32, ldc int) {
+	for q := 0; q < quads; q++ {
+		ap := a[q*mrQTile*4 : (q+1)*mrQTile*4]
+		bp := b[q*nrQTile*4 : (q+1)*nrQTile*4]
+		for r := 0; r < mrQTile; r++ {
+			a0 := int32(ap[r*4])
+			a1 := int32(ap[r*4+1])
+			a2 := int32(ap[r*4+2])
+			a3 := int32(ap[r*4+3])
+			if a0|a1|a2|a3 == 0 {
+				continue
+			}
+			crow := ctile[r*ldc : r*ldc+nrQTile]
+			for j := 0; j < nrQTile; j++ {
+				bj := bp[j*4 : j*4+4]
+				crow[j] += a0*int32(bj[0]) + a1*int32(bj[1]) + a2*int32(bj[2]) + a3*int32(bj[3])
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+//go:build amd64
+
+package tensor
+
+// qgemmKernel4x16 is the AVX2 VPMADDUBSW/VPMADDWD micro-kernel in
+// qgemm_amd64.s: one packed 4×16 int32 micro-tile update over `quads` groups
+// of 4 k-steps.
+//
+//go:noescape
+func qgemmKernel4x16(quads int64, a *int8, b *uint8, c *int32, ldc int64)
+
+// maxU8x32 computes dst = max(dst, src) over n bytes (n a multiple of 32)
+// with VPMAXUB; see qgemm_amd64.s.
+//
+//go:noescape
+func maxU8x32(dst, src *uint8, n int64)
+
+// requantU8x32 is the vectorized requantization epilogue in qgemm_amd64.s:
+// dst[i] = clamp(roundeven(float32(acc[i])*mult + beta), lo, hi) for n
+// elements, n a multiple of 32.
+//
+//go:noescape
+func requantU8x32(acc *int32, dst *uint8, n int64, mult, beta float32, lo, hi uint8)
+
+// qgemmKernelVNNI4x16 is the AVX512-VNNI (VPDPBUSD, YMM-width via AVX512VL)
+// variant of the micro-kernel in qgemm_amd64.s.
+//
+//go:noescape
+func qgemmKernelVNNI4x16(quads int64, a *int8, b *uint8, c *int32, ldc int64)
+
+// haveQuantASM gates the quantized kernels on the same AVX2+FMA+OS-XSAVE
+// detection as the FP32 kernel (VPMADDUBSW/VPMADDWD are AVX2; the requant
+// epilogue uses FMA). haveVNNI additionally selects the VPDPBUSD kernel on
+// parts with AVX512-VNNI and AVX512VL.
+var (
+	haveQuantASM = haveFMA
+	haveVNNI     = detectVNNI()
+)
+
+func detectVNNI() bool {
+	if !haveFMA {
+		return false
+	}
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, b7, c7, _ := cpuidex(7, 0)
+	const (
+		avx512f    = 1 << 16
+		avx512vl   = 1 << 31
+		avx512vnni = 1 << 11 // ECX
+	)
+	if b7&avx512f == 0 || b7&avx512vl == 0 || c7&avx512vnni == 0 {
+		return false
+	}
+	// The OS must have enabled XMM+YMM plus the AVX-512 opmask/upper state
+	// (XCR0 bits 1-2 and 5-7) for EVEX-encoded instructions.
+	lo, _ := xgetbv0()
+	return lo&0xe6 == 0xe6
+}
+
+func requantU8ASM(acc *int32, dst *uint8, n int64, mult, beta float32, lo, hi uint8) {
+	requantU8x32(acc, dst, n, mult, beta, lo, hi)
+}
+
+// qgemmKernel runs one packed 4×16 micro-tile update (see qgemmKernelGeneric
+// for the semantics), dispatching to the best available kernel:
+// AVX512-VNNI, then AVX2, then the portable Go fallback.
+func qgemmKernel(quads int, a []int8, b []uint8, ctile []int32, ldc int) {
+	if haveVNNI {
+		qgemmKernelVNNI4x16(int64(quads), &a[0], &b[0], &ctile[0], int64(ldc))
+		return
+	}
+	if haveQuantASM {
+		qgemmKernel4x16(int64(quads), &a[0], &b[0], &ctile[0], int64(ldc))
+		return
+	}
+	qgemmKernelGeneric(quads, a, b, ctile, ldc)
+}

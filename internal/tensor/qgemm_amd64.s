@@ -1,0 +1,375 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func qgemmKernel4x16(quads int64, a *int8, b *uint8, c *int32, ldc int64)
+//
+// Quantized GEMM micro-kernel: accumulates a 4×16 tile of int32 C (row
+// stride ldc ints) with `quads` groups of 4 rank-1 byte updates from the
+// packed panels.
+//   a: quads groups of 16 bytes — 4 rows × 4 consecutive k-values (s8)
+//   b: quads groups of 64 bytes — 16 cols × 4 consecutive k-values (u8)
+// Per quad: the two B vectors (8 columns × 4 bytes each) are loaded once;
+// each row broadcasts its 4-byte k-group (VPBROADCASTD), multiplies byte
+// pairs into saturating int16 (VPMADDUBSW — saturation-free because
+// activations are ≤ 127, see QuantParams), widens pairs into int32
+// (VPMADDWD with ones) and accumulates (VPADDD). The quad loop is unrolled
+// by two.
+TEXT ·qgemmKernel4x16(SB), NOSPLIT, $0-40
+	MOVQ quads+0(FP), AX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $2, DX            // row stride in bytes
+
+	// Y8 = sixteen int16(1), for the VPMADDWD pair-sum widening.
+	VPCMPEQD Y8, Y8, Y8
+	VPSRLW   $15, Y8, Y8
+
+	// Load the 4×16 int32 C tile.
+	MOVQ DI, R8
+	VMOVDQU (R8), Y0
+	VMOVDQU 32(R8), Y1
+	ADDQ DX, R8
+	VMOVDQU (R8), Y2
+	VMOVDQU 32(R8), Y3
+	ADDQ DX, R8
+	VMOVDQU (R8), Y4
+	VMOVDQU 32(R8), Y5
+	ADDQ DX, R8
+	VMOVDQU (R8), Y6
+	VMOVDQU 32(R8), Y7
+
+	MOVQ AX, CX
+	SHRQ $1, CX
+	JZ   tail
+
+loop2:
+	VMOVDQU (BX), Y12
+	VMOVDQU 32(BX), Y13
+
+	VPBROADCASTD (SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y0, Y0
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y1, Y1
+
+	VPBROADCASTD 4(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y2, Y2
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y3, Y3
+
+	VPBROADCASTD 8(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y4, Y4
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y5, Y5
+
+	VPBROADCASTD 12(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y6, Y6
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y7, Y7
+
+	VMOVDQU 64(BX), Y12
+	VMOVDQU 96(BX), Y13
+
+	VPBROADCASTD 16(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y0, Y0
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y1, Y1
+
+	VPBROADCASTD 20(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y2, Y2
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y3, Y3
+
+	VPBROADCASTD 24(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y4, Y4
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y5, Y5
+
+	VPBROADCASTD 28(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y6, Y6
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y7, Y7
+
+	ADDQ $32, SI
+	ADDQ $128, BX
+	DECQ CX
+	JNE  loop2
+
+tail:
+	TESTQ $1, AX
+	JZ    done
+
+	VMOVDQU (BX), Y12
+	VMOVDQU 32(BX), Y13
+
+	VPBROADCASTD (SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y0, Y0
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y1, Y1
+
+	VPBROADCASTD 4(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y2, Y2
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y3, Y3
+
+	VPBROADCASTD 8(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y4, Y4
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y5, Y5
+
+	VPBROADCASTD 12(SI), Y14
+	VPMADDUBSW Y14, Y12, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y6, Y6
+	VPMADDUBSW Y14, Y13, Y15
+	VPMADDWD   Y8, Y15, Y15
+	VPADDD     Y15, Y7, Y7
+
+done:
+	// Store the tile back.
+	MOVQ DI, R8
+	VMOVDQU Y0, (R8)
+	VMOVDQU Y1, 32(R8)
+	ADDQ DX, R8
+	VMOVDQU Y2, (R8)
+	VMOVDQU Y3, 32(R8)
+	ADDQ DX, R8
+	VMOVDQU Y4, (R8)
+	VMOVDQU Y5, 32(R8)
+	ADDQ DX, R8
+	VMOVDQU Y6, (R8)
+	VMOVDQU Y7, 32(R8)
+	VZEROUPPER
+	RET
+
+// func qgemmKernelVNNI4x16(quads int64, a *int8, b *uint8, c *int32, ldc int64)
+//
+// AVX512-VNNI variant of the quantized micro-kernel over the same packed
+// quad panels: VPDPBUSD fuses the VPMADDUBSW/VPMADDWD/VPADDD chain into one
+// u8×s8 dot-product-accumulate, tripling per-instruction work. Uses only YMM
+// width (AVX512VL), so it runs at full clock on every VNNI part. The quad
+// loop is unrolled by two using the EVEX high registers for the second
+// quad's operands.
+TEXT ·qgemmKernelVNNI4x16(SB), NOSPLIT, $0-40
+	MOVQ quads+0(FP), AX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $2, DX            // row stride in bytes
+
+	// Load the 4×16 int32 C tile.
+	MOVQ DI, R8
+	VMOVDQU (R8), Y0
+	VMOVDQU 32(R8), Y1
+	ADDQ DX, R8
+	VMOVDQU (R8), Y2
+	VMOVDQU 32(R8), Y3
+	ADDQ DX, R8
+	VMOVDQU (R8), Y4
+	VMOVDQU 32(R8), Y5
+	ADDQ DX, R8
+	VMOVDQU (R8), Y6
+	VMOVDQU 32(R8), Y7
+
+	MOVQ AX, CX
+	SHRQ $1, CX
+	JZ   vtail
+
+vloop2:
+	VMOVDQU (BX), Y12
+	VMOVDQU 32(BX), Y13
+	VMOVDQU32 64(BX), Y18
+	VMOVDQU32 96(BX), Y19
+
+	VPBROADCASTD (SI), Y14
+	VPBROADCASTD 4(SI), Y15
+	VPBROADCASTD 8(SI), Y16
+	VPBROADCASTD 12(SI), Y17
+	VPDPBUSD Y14, Y12, Y0
+	VPDPBUSD Y14, Y13, Y1
+	VPDPBUSD Y15, Y12, Y2
+	VPDPBUSD Y15, Y13, Y3
+	VPDPBUSD Y16, Y12, Y4
+	VPDPBUSD Y16, Y13, Y5
+	VPDPBUSD Y17, Y12, Y6
+	VPDPBUSD Y17, Y13, Y7
+
+	VPBROADCASTD 16(SI), Y20
+	VPBROADCASTD 20(SI), Y21
+	VPBROADCASTD 24(SI), Y22
+	VPBROADCASTD 28(SI), Y23
+	VPDPBUSD Y20, Y18, Y0
+	VPDPBUSD Y20, Y19, Y1
+	VPDPBUSD Y21, Y18, Y2
+	VPDPBUSD Y21, Y19, Y3
+	VPDPBUSD Y22, Y18, Y4
+	VPDPBUSD Y22, Y19, Y5
+	VPDPBUSD Y23, Y18, Y6
+	VPDPBUSD Y23, Y19, Y7
+
+	ADDQ $32, SI
+	ADDQ $128, BX
+	DECQ CX
+	JNE  vloop2
+
+vtail:
+	TESTQ $1, AX
+	JZ    vdone
+
+	VMOVDQU (BX), Y12
+	VMOVDQU 32(BX), Y13
+	VPBROADCASTD (SI), Y14
+	VPBROADCASTD 4(SI), Y15
+	VPBROADCASTD 8(SI), Y16
+	VPBROADCASTD 12(SI), Y17
+	VPDPBUSD Y14, Y12, Y0
+	VPDPBUSD Y14, Y13, Y1
+	VPDPBUSD Y15, Y12, Y2
+	VPDPBUSD Y15, Y13, Y3
+	VPDPBUSD Y16, Y12, Y4
+	VPDPBUSD Y16, Y13, Y5
+	VPDPBUSD Y17, Y12, Y6
+	VPDPBUSD Y17, Y13, Y7
+
+vdone:
+	// Store the tile back.
+	MOVQ DI, R8
+	VMOVDQU Y0, (R8)
+	VMOVDQU Y1, 32(R8)
+	ADDQ DX, R8
+	VMOVDQU Y2, (R8)
+	VMOVDQU Y3, 32(R8)
+	ADDQ DX, R8
+	VMOVDQU Y4, (R8)
+	VMOVDQU Y5, 32(R8)
+	ADDQ DX, R8
+	VMOVDQU Y6, (R8)
+	VMOVDQU Y7, 32(R8)
+	VZEROUPPER
+	RET
+
+// func maxU8x32(dst, src *uint8, n int64)
+//
+// dst = max(dst, src) element-wise over n bytes, n a positive multiple of
+// 32 — the vertical pass of the separable u8 max pool.
+TEXT ·maxU8x32(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $5, CX
+
+mxloop:
+	VMOVDQU (DI), Y0
+	VPMAXUB (SI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE  mxloop
+
+	VZEROUPPER
+	RET
+
+// qpermIdx reorders the dword groups produced by the in-lane
+// VPACKSSDW/VPACKUSWB cascade back into memory order.
+DATA qpermIdx<>+0(SB)/4, $0
+DATA qpermIdx<>+4(SB)/4, $4
+DATA qpermIdx<>+8(SB)/4, $1
+DATA qpermIdx<>+12(SB)/4, $5
+DATA qpermIdx<>+16(SB)/4, $2
+DATA qpermIdx<>+20(SB)/4, $6
+DATA qpermIdx<>+24(SB)/4, $3
+DATA qpermIdx<>+28(SB)/4, $7
+GLOBL qpermIdx<>(SB), RODATA, $32
+
+// func requantU8x32(acc *int32, dst *uint8, n int64, mult, beta float32, lo, hi uint8)
+//
+// Vectorized requantization: 32 int32 accumulators per iteration are
+// converted to float32, scaled (acc*mult + beta, one FMA), rounded to
+// nearest-even (VCVTPS2DQ), narrowed int32→int16→u8 with saturation
+// (VPACKSSDW/VPACKUSWB + VPERMD lane fix) and clamped to [lo, hi].
+// n must be a positive multiple of 32.
+TEXT ·requantU8x32(SB), NOSPLIT, $0-34
+	MOVQ acc+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+	SHRQ $5, CX
+
+	VBROADCASTSS mult+24(FP), Y13
+	VBROADCASTSS beta+28(FP), Y14
+	VPBROADCASTB lo+32(FP), Y11
+	VPBROADCASTB hi+33(FP), Y10
+	VMOVDQU      qpermIdx<>(SB), Y12
+
+rqloop:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+
+	VCVTDQ2PS Y0, Y0
+	VCVTDQ2PS Y1, Y1
+	VCVTDQ2PS Y2, Y2
+	VCVTDQ2PS Y3, Y3
+
+	VFMADD213PS Y14, Y13, Y0
+	VFMADD213PS Y14, Y13, Y1
+	VFMADD213PS Y14, Y13, Y2
+	VFMADD213PS Y14, Y13, Y3
+
+	VCVTPS2DQ Y0, Y0
+	VCVTPS2DQ Y1, Y1
+	VCVTPS2DQ Y2, Y2
+	VCVTPS2DQ Y3, Y3
+
+	VPACKSSDW Y1, Y0, Y4
+	VPACKSSDW Y3, Y2, Y5
+	VPACKUSWB Y5, Y4, Y6
+	VPERMD    Y6, Y12, Y6
+	VPMAXUB   Y11, Y6, Y6
+	VPMINUB   Y10, Y6, Y6
+	VMOVDQU   Y6, (DI)
+
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE  rqloop
+
+	VZEROUPPER
+	RET

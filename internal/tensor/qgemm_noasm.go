@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package tensor
+
+// haveQuantASM is false on platforms without the AVX2 quantized kernels.
+const haveQuantASM = false
+
+// maxU8x32 is never called when haveQuantASM is false.
+func maxU8x32(dst, src *uint8, n int64) {
+	panic("tensor: maxU8x32 without assembly support")
+}
+
+// requantU8ASM is never called when haveQuantASM is false.
+func requantU8ASM(acc *int32, dst *uint8, n int64, mult, beta float32, lo, hi uint8) {
+	panic("tensor: requantU8ASM without assembly support")
+}
+
+// qgemmKernel runs one packed 4×16 micro-tile update on platforms without an
+// assembly kernel.
+func qgemmKernel(quads int, a []int8, b []uint8, ctile []int32, ldc int) {
+	qgemmKernelGeneric(quads, a, b, ctile, ldc)
+}

@@ -1,0 +1,49 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQGemmKernelMatchesGeneric checks the assembly micro-kernel against the
+// portable one on identical packed panels.
+func TestQGemmKernelMatchesGeneric(t *testing.T) {
+	if !haveQuantASM {
+		t.Skip("no quantized assembly kernel on this platform")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, quads := range []int{1, 2, 3, 17, 64} {
+		a := make([]int8, quads*mrQTile*4)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+		}
+		b := make([]uint8, quads*nrQTile*4)
+		for i := range b {
+			b[i] = uint8(rng.Intn(QMaxU8 + 1))
+		}
+		init := make([]int32, mrQTile*nrQTile)
+		for i := range init {
+			init[i] = int32(rng.Intn(1000) - 500)
+		}
+		want := append([]int32(nil), init...)
+		qgemmKernelGeneric(quads, a, b, want, nrQTile)
+		got := append([]int32(nil), init...)
+		qgemmKernel4x16(int64(quads), &a[0], &b[0], &got[0], int64(nrQTile))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("avx2 quads=%d: tile[%d]=%d want %d", quads, i, got[i], want[i])
+			}
+		}
+		if haveVNNI {
+			got = append(got[:0], init...)
+			qgemmKernelVNNI4x16(int64(quads), &a[0], &b[0], &got[0], int64(nrQTile))
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("vnni quads=%d: tile[%d]=%d want %d", quads, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// qgemmRef is the naive int32 reference product for the quantized GEMM.
+func qgemmRef(a []int8, b []uint8, m, k, n int) []int32 {
+	c := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := int32(a[i*k+p])
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * int32(b[p*n+j])
+			}
+		}
+	}
+	return c
+}
+
+func randQOperands(rng *rand.Rand, m, k, n int) ([]int8, []uint8) {
+	a := make([]int8, m*k)
+	for i := range a {
+		a[i] = int8(rng.Intn(255) - 127)
+	}
+	b := make([]uint8, k*n)
+	for i := range b {
+		b[i] = uint8(rng.Intn(QMaxU8 + 1))
+	}
+	return a, b
+}
+
+// TestQGemmMatchesReference exercises the blocked quantized GEMM (packing,
+// edge tiles, partial quads, the assembly kernel when available) against the
+// naive reference across awkward shapes. Negative weights distinguish the
+// signed from the unsigned VPMADDUBSW operand, so an operand-order bug in the
+// assembly cannot pass.
+func TestQGemmMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {4, 16, 16}, {6, 3, 33},
+		{16, 96, 49}, {5, 7, 129}, {96, 196, 50}, {13, 200, 37},
+		{64, 147, 121}, {2, 513, 18},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randQOperands(rng, m, k, n)
+		want := qgemmRef(a, b, m, k, n)
+		got := make([]int32, m*n)
+		QGemm(a, b, got, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("QGemm %dx%dx%d: c[%d]=%d want %d", m, k, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQGemmQuantizedVsFloat quantizes a random float GEMM and checks the
+// dequantized int8 product stays within the propagated quantization error
+// bound of the float32 result.
+func TestQGemmQuantizedVsFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, k, n := 24, 96, 70
+	w := make([]float32, m*k)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	x := make([]float32, k*n)
+	var minX, maxX float32
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		if x[i] < minX {
+			minX = x[i]
+		}
+		if x[i] > maxX {
+			maxX = x[i]
+		}
+	}
+	xq := ChooseQuantParams(minX, maxX)
+	xu := make([]uint8, len(x))
+	QuantizeU8(xu, x, xq)
+	wq, ws, wsum := QuantizeWeightsPerChannel(w, m, k)
+
+	want := make([]float32, m*n)
+	Gemm(w, x, want, m, k, n)
+	acc := make([]int32, m*n)
+	QGemm(wq, xu, acc, m, k, n)
+
+	// Per-element error bound: each of the k products carries at most
+	// (sW/2)·|x| + (sX/2)·|w| + sW·sX/4 of rounding error; bound loosely
+	// with max |x| ≈ 4σ, |w| ≈ 4σ.
+	for oc := 0; oc < m; oc++ {
+		mult := ws[oc] * xq.Scale
+		bound := float64(k) * float64(ws[oc]*4+xq.Scale*4+ws[oc]*xq.Scale) / 2
+		for j := 0; j < n; j++ {
+			got := mult * float32(acc[oc*n+j]-xq.Zero*wsum[oc])
+			diff := math.Abs(float64(got - want[oc*n+j]))
+			if diff > bound {
+				t.Fatalf("c[%d,%d]: int8 %v vs float %v (diff %v > bound %v)",
+					oc, j, got, want[oc*n+j], diff, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizeRoundTrip is the requantize round-trip property test: for
+// random ranges, quantize→dequantize must stay within half a quantization
+// step of the clamped original, and the zero point must map exactly to 0.
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		lo := float32(-rng.Float64() * 10)
+		hi := float32(rng.Float64()*10 + 0.1)
+		q := ChooseQuantParams(lo, hi)
+		if q.Zero < 0 || q.Zero > QMaxU8 {
+			t.Fatalf("zero point %d out of range", q.Zero)
+		}
+		// real 0 must be exactly representable
+		zbuf := make([]uint8, 1)
+		QuantizeU8(zbuf, []float32{0}, q)
+		back := make([]float32, 1)
+		DequantizeU8(back, zbuf, q)
+		if back[0] != 0 {
+			t.Fatalf("zero does not round-trip: %v (params %+v)", back[0], q)
+		}
+		vals := make([]float32, 256)
+		for i := range vals {
+			vals[i] = lo + (hi-lo)*float32(rng.Float64())
+		}
+		u := make([]uint8, len(vals))
+		QuantizeU8(u, vals, q)
+		rt := make([]float32, len(vals))
+		DequantizeU8(rt, u, q)
+		for i, v := range vals {
+			clamped := v
+			if min := -q.Scale * float32(q.Zero); clamped < min {
+				clamped = min
+			}
+			if max := q.Scale * float32(QMaxU8-q.Zero); clamped > max {
+				clamped = max
+			}
+			if diff := math.Abs(float64(rt[i] - clamped)); diff > float64(q.Scale)/2+1e-6 {
+				t.Fatalf("round-trip v=%v got %v (diff %v > step/2 %v)", v, rt[i], diff, q.Scale/2)
+			}
+		}
+	}
+}
+
+// TestRequantizeU8MatchesScalar checks the vectorized requantization epilogue
+// against the scalar reference, including the ReLU lower clamp, across sizes
+// that exercise both the 32-wide body and the scalar tail.
+func TestRequantizeU8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 31, 32, 33, 100, 256, 1000} {
+		for _, relu := range []bool{false, true} {
+			acc := make([]int32, n)
+			for i := range acc {
+				acc[i] = int32(rng.Intn(2_000_000) - 1_000_000)
+			}
+			mult := float32(rng.Float64() * 1e-4)
+			beta := float32(rng.NormFloat64() * 10)
+			zOut := int32(rng.Intn(QMaxU8))
+			got := make([]uint8, n)
+			RequantizeU8(got, acc, mult, beta, zOut, relu)
+			lo := int32(0)
+			if relu {
+				lo = zOut
+			}
+			for i, a := range acc {
+				x := int32(math.RoundToEven(float64(float32(a)*mult + beta)))
+				if x < lo {
+					x = lo
+				} else if x > QMaxU8 {
+					x = QMaxU8
+				}
+				if got[i] != uint8(x) {
+					t.Fatalf("n=%d relu=%v: dst[%d]=%d want %d (acc=%d mult=%v beta=%v)",
+						n, relu, i, got[i], x, a, mult, beta)
+				}
+			}
+		}
+	}
+}
+
+// TestIm2colU8MatchesFloat checks the quantized im2col against the float one
+// on the same (quantized) data, with zero-point-encoded padding.
+func TestIm2colU8MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	s := ConvSpec{InC: 3, OutC: 1, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	c, h, w := 3, 9, 7
+	imgU := make([]uint8, c*h*w)
+	imgF := make([]float32, c*h*w)
+	zp := uint8(17)
+	for i := range imgU {
+		imgU[i] = uint8(rng.Intn(QMaxU8 + 1))
+		imgF[i] = float32(imgU[i])
+	}
+	oh, ow := s.OutSize(h, w)
+	colU := make([]uint8, s.InC*s.KH*s.KW*oh*ow)
+	colF := make([]float32, len(colU))
+	Im2colU8(imgU, c, h, w, s, colU, zp)
+	Im2col(imgF, c, h, w, s, colF)
+	for i := range colU {
+		want := colF[i]
+		if want == 0 && colU[i] == zp {
+			continue // padding encodes real 0 as the zero point
+		}
+		if float32(colU[i]) != want {
+			t.Fatalf("col[%d]=%d want %v", i, colU[i], want)
+		}
+	}
+}
+
+// TestMaxPoolU8MatchesFloat checks u8 pooling against float pooling of the
+// same values.
+func TestMaxPoolU8MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, c, h, w := 2, 3, 9, 9
+	xu := make([]uint8, n*c*h*w)
+	xf := New(n, c, h, w)
+	for i := range xu {
+		xu[i] = uint8(rng.Intn(QMaxU8 + 1))
+		xf.Data[i] = float32(xu[i])
+	}
+	p := PoolSpec{K: 3, Stride: 2}
+	oh, ow := p.OutSize(h, w)
+	yu := make([]uint8, n*c*oh*ow)
+	MaxPoolU8Into(xu, n, c, h, w, p, yu)
+	yf := New(n, c, oh, ow)
+	MaxPoolForwardInto(xf, p, yf)
+	for i := range yu {
+		if float32(yu[i]) != yf.Data[i] {
+			t.Fatalf("pool[%d]=%d want %v", i, yu[i], yf.Data[i])
+		}
+	}
+}
+
+// TestQGemmConcurrentSharedPool hammers the quantized GEMM from several
+// goroutines sharing the worker pool (run under -race), checking results
+// stay correct under contention.
+func TestQGemmConcurrentSharedPool(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(18))
+	m, k, n := 32, 64, 200
+	a, b := randQOperands(rng, m, k, n)
+	want := qgemmRef(a, b, m, k, n)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := make([]int32, m*n)
+			for iter := 0; iter < 10; iter++ {
+				QGemm(a, b, c, m, k, n)
+				for i := range want {
+					if c[i] != want[i] {
+						errs <- "concurrent QGemm mismatch"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestQuantizeWeightsPerChannel checks scales, row sums, and that dequantized
+// weights stay within half a step per channel.
+func TestQuantizeWeightsPerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	outC, k := 8, 30
+	w := make([]float32, outC*k)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64()) * float32(1+rng.Intn(5))
+	}
+	wq, ws, wsum := QuantizeWeightsPerChannel(w, outC, k)
+	for oc := 0; oc < outC; oc++ {
+		var sum int32
+		for j := 0; j < k; j++ {
+			q := wq[oc*k+j]
+			sum += int32(q)
+			diff := math.Abs(float64(float32(q)*ws[oc] - w[oc*k+j]))
+			if diff > float64(ws[oc])/2+1e-6 {
+				t.Fatalf("w[%d,%d]: dequant err %v > step/2", oc, j, diff)
+			}
+		}
+		if sum != wsum[oc] {
+			t.Fatalf("row sum[%d]=%d want %d", oc, wsum[oc], sum)
+		}
+	}
+}
+
+func BenchmarkQGemm96x196x12544(b *testing.B) {
+	benchQGemm(b, 96, 196, 12544)
+}
+
+func BenchmarkQGemm64x144x3136(b *testing.B) {
+	benchQGemm(b, 64, 144, 3136)
+}
+
+func BenchmarkQGemm256x64x784(b *testing.B) {
+	benchQGemm(b, 256, 64, 784)
+}
+
+func benchQGemm(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(20))
+	wq, x := randQOperands(rng, m, k, n)
+	c := make([]int32, m*n)
+	b.SetBytes(int64(2 * m * k * n)) // MACs ≈ bytes/2 for ops/s readout
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QGemm(wq, x, c, m, k, n)
+	}
+}
+
+func BenchmarkRequantizeU8(b *testing.B) {
+	acc := make([]int32, 96*12544)
+	for i := range acc {
+		acc[i] = int32(i%100000 - 50000)
+	}
+	dst := make([]uint8, len(acc))
+	b.SetBytes(int64(len(acc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RequantizeU8(dst, acc, 1e-4, 3, 5, true)
+	}
+}
