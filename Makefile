@@ -4,7 +4,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-all bench-infer
+# Per-fuzzer budget for the `fuzz` smoke target.
+FUZZTIME ?= 15s
+
+.PHONY: check fmt vet build test race fuzz bench bench-all bench-infer
 
 check: fmt vet build test race
 
@@ -25,13 +28,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/core/...
+	$(GO) test -race ./internal/tensor/... ./internal/core/... ./internal/serve/...
+
+# Native Go fuzzing smoke pass over the text parsers that face untrusted
+# input (EasyList rules, HTML). Each fuzzer runs for FUZZTIME; crashers are
+# written to the package's testdata/fuzz corpus and reproduced by `go test`.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/easylist
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dom
 
 # Headline benchmark snapshot: runs the perf-trajectory benchmarks (FP32 and
-# INT8 inference, stem GEMMs, resize, training epoch) plus the INT8
-# accuracy-parity comparison, and writes BENCH_2.json.
+# INT8 inference, serve-vs-sync throughput at concurrency 8, stem GEMMs,
+# resize, training epoch) plus the INT8 accuracy-parity comparison, and
+# writes BENCH_3.json.
 bench:
-	$(GO) run ./cmd/percival-bench -out BENCH_2.json
+	$(GO) run ./cmd/percival-bench -out BENCH_3.json
 
 # Full benchmark sweep (slow: regenerates every paper figure).
 bench-all:

@@ -120,6 +120,31 @@ func BenchmarkInferSingleInt8(b *testing.B) { benchsuite.InferSingleInt8(b) }
 // per forward pass) — the quantized ClassifyBatch workload.
 func BenchmarkInferBatchInt8(b *testing.B) { benchsuite.InferBatchInt8(b) }
 
+// BenchmarkServeSteady8 measures the micro-batching service's steady state
+// at concurrency 8 on non-repeating frames (cache off): the pure-batching
+// throughput row, and the 0 allocs/op gate for the serve hot path.
+func BenchmarkServeSteady8(b *testing.B) { benchsuite.ServeSteady8(b) }
+
+// BenchmarkServeSteady8Int8 is the INT8 steady-state serving benchmark.
+func BenchmarkServeSteady8Int8(b *testing.B) { benchsuite.ServeSteady8Int8(b) }
+
+// BenchmarkServeRotation8 measures serving throughput on the rotation
+// workload (16 distinct creatives sighted by 8 concurrent clients each,
+// cold cache per window) — the repeated-creative reality the sharded cache
+// and in-flight coalescing exploit.
+func BenchmarkServeRotation8(b *testing.B) { benchsuite.ServeRotation8(b) }
+
+// BenchmarkServeRotation8Int8 is the INT8 rotation-workload benchmark.
+func BenchmarkServeRotation8Int8(b *testing.B) { benchsuite.ServeRotation8Int8(b) }
+
+// BenchmarkSyncClassify8 is the baseline the serve layer is measured
+// against: the same rotation workload as synchronous single-frame Classify
+// calls from 8 concurrent goroutines.
+func BenchmarkSyncClassify8(b *testing.B) { benchsuite.SyncClassify8(b) }
+
+// BenchmarkSyncClassify8Int8 is the INT8 synchronous baseline.
+func BenchmarkSyncClassify8Int8(b *testing.B) { benchsuite.SyncClassify8Int8(b) }
+
 // BenchmarkClassifySingleFrame measures the per-frame model latency the
 // paper quotes as 11 ms at 224px (ours runs at the harness resolution).
 func BenchmarkClassifySingleFrame(b *testing.B) {

@@ -29,6 +29,26 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+	// FramesPerSec carries the serving-throughput metric when the benchmark
+	// reports one (the frames/sec-vs-concurrency trajectory).
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+}
+
+// ServeResult summarizes the serving-throughput comparison: the
+// micro-batching service versus a synchronous single-frame Classify loop
+// on the same rotation workload at the same concurrency.
+type ServeResult struct {
+	Concurrency int `json:"concurrency"`
+	// rotation workload (16 distinct creatives × concurrency sightings)
+	ServeFP32FPS float64 `json:"serve_fp32_frames_per_sec"`
+	ServeINT8FPS float64 `json:"serve_int8_frames_per_sec"`
+	SyncFP32FPS  float64 `json:"sync_fp32_frames_per_sec"`
+	SyncINT8FPS  float64 `json:"sync_int8_frames_per_sec"`
+	SpeedupFP32  float64 `json:"speedup_fp32"`
+	SpeedupINT8  float64 `json:"speedup_int8"`
+	// steady state (non-repeating frames, cache off): pure batching
+	SteadyFP32FPS     float64 `json:"steady_fp32_frames_per_sec"`
+	SteadyAllocsPerOp int64   `json:"steady_allocs_per_op"`
 }
 
 // ParityResult records the INT8 accuracy-parity numbers from the synthetic
@@ -50,11 +70,12 @@ type Snapshot struct {
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Benchmarks []BenchResult `json:"benchmarks"`
+	Serve      *ServeResult  `json:"serve,omitempty"`
 	INT8       *ParityResult `json:"int8,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	skipParity := flag.Bool("skip-parity", false, "skip the INT8 accuracy-parity run (no model training)")
 	flag.Parse()
 
@@ -64,19 +85,45 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
+	byName := map[string]BenchResult{}
 	for _, b := range headlineBenchmarks() {
 		fmt.Fprintf(os.Stderr, "bench %-28s ", b.name)
 		r := testing.Benchmark(b.fn)
 		res := BenchResult{
-			Name:        b.name,
-			MsPerOp:     float64(r.NsPerOp()) / 1e6,
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iterations:  r.N,
+			Name:         b.name,
+			MsPerOp:      float64(r.NsPerOp()) / 1e6,
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			Iterations:   r.N,
+			FramesPerSec: r.Extra["frames/sec"],
 		}
-		fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op\n", res.MsPerOp, res.AllocsPerOp)
+		if res.FramesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op  %8.1f frames/sec\n",
+				res.MsPerOp, res.AllocsPerOp, res.FramesPerSec)
+		} else {
+			fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op\n", res.MsPerOp, res.AllocsPerOp)
+		}
 		snap.Benchmarks = append(snap.Benchmarks, res)
+		byName[b.name] = res
 	}
+
+	snap.Serve = &ServeResult{
+		Concurrency:       benchsuite.ServeConcurrency,
+		ServeFP32FPS:      byName["ServeRotation8"].FramesPerSec,
+		ServeINT8FPS:      byName["ServeRotation8Int8"].FramesPerSec,
+		SyncFP32FPS:       byName["SyncClassify8"].FramesPerSec,
+		SyncINT8FPS:       byName["SyncClassify8Int8"].FramesPerSec,
+		SteadyFP32FPS:     byName["ServeSteady8"].FramesPerSec,
+		SteadyAllocsPerOp: byName["ServeSteady8"].AllocsPerOp,
+	}
+	if snap.Serve.SyncFP32FPS > 0 {
+		snap.Serve.SpeedupFP32 = snap.Serve.ServeFP32FPS / snap.Serve.SyncFP32FPS
+	}
+	if snap.Serve.SyncINT8FPS > 0 {
+		snap.Serve.SpeedupINT8 = snap.Serve.ServeINT8FPS / snap.Serve.SyncINT8FPS
+	}
+	fmt.Fprintf(os.Stderr, "serve: %.1fx FP32 / %.1fx INT8 over the synchronous loop at concurrency %d\n",
+		snap.Serve.SpeedupFP32, snap.Serve.SpeedupINT8, snap.Serve.Concurrency)
 
 	if !*skipParity {
 		fmt.Fprintln(os.Stderr, "parity: training reduced-scale model and comparing FP32 vs INT8...")
@@ -121,13 +168,21 @@ type namedBench struct {
 // headlineBenchmarks is the repository's headline benchmark set (single
 // definition in internal/benchsuite, shared with bench_test.go; see
 // PERFORMANCE.md): single-frame and batched inference on both engines, the
-// paper-scale stem GEMMs, the pre-processing resize, and a training epoch.
+// serving-throughput suite (micro-batching service vs synchronous loop at
+// concurrency 8), the paper-scale stem GEMMs, the pre-processing resize,
+// and a training epoch.
 func headlineBenchmarks() []namedBench {
 	return []namedBench{
 		{"InferSingle", benchsuite.InferSingle},
 		{"InferSingleInt8", benchsuite.InferSingleInt8},
 		{"InferBatch8", benchsuite.InferBatch},
 		{"InferBatch8Int8", benchsuite.InferBatchInt8},
+		{"ServeSteady8", benchsuite.ServeSteady8},
+		{"ServeSteady8Int8", benchsuite.ServeSteady8Int8},
+		{"ServeRotation8", benchsuite.ServeRotation8},
+		{"ServeRotation8Int8", benchsuite.ServeRotation8Int8},
+		{"SyncClassify8", benchsuite.SyncClassify8},
+		{"SyncClassify8Int8", benchsuite.SyncClassify8Int8},
 		{"Gemm96x196x12544", benchsuite.GemmStem},
 		{"QGemm96x196x12544", benchsuite.QGemmStem},
 		{"ResizeBilinear640x480to224", benchsuite.Resize},

@@ -1,0 +1,236 @@
+// Command percival-serve runs PERCIVAL as a standalone classification
+// daemon: an HTTP front end over the internal/serve micro-batching service,
+// turning many concurrent single-frame requests into batched forward
+// passes on the FP32 or INT8 engine.
+//
+//	POST /classify   body = PNG/JPEG/GIF (or raw RGBA with ?w=&h= and
+//	                 Content-Type: application/octet-stream)
+//	                 -> {"score":0.93,"ad":true,"status":"classified"}
+//	GET  /healthz    liveness + model/engine info
+//	GET  /metrics    Prometheus text exposition (serve counters/histograms)
+//
+//	percival-serve                        # train a reduced-scale model, serve on :8093
+//	percival-serve -res 224 -int8         # paper-scale INT8 engine
+//	percival-serve -model m.pcvl -res 32  # serve saved weights
+//	percival-serve -pretrained            # deterministic untrained weights (smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"percival"
+	"percival/internal/core"
+	"percival/internal/imaging"
+	"percival/internal/nn"
+	"percival/internal/serve"
+	"percival/internal/squeezenet"
+	"percival/internal/synth"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8093", "listen address")
+		res        = flag.Int("res", 32, "classifier input resolution (224 = paper scale)")
+		modelPath  = flag.String("model", "", "serve saved PCVL weights instead of training")
+		pretrained = flag.Bool("pretrained", false, "deterministic untrained weights (no training; smoke/bench)")
+		samples    = flag.Int("samples", 700, "training samples when training")
+		epochs     = flag.Int("epochs", 8, "training epochs when training")
+		seed       = flag.Int64("seed", 1, "seed for training/calibration data")
+		threshold  = flag.Float64("threshold", 0.5, "ad-probability blocking threshold")
+		int8Flag   = flag.Bool("int8", false, "quantize and serve the INT8 engine (parity-gated)")
+		workers    = flag.Int("workers", 0, "dispatch workers (0 = GOMAXPROCS)")
+		maxBatch   = flag.Int("batch", 16, "max frames per forward pass")
+		linger     = flag.Duration("linger", 2*time.Millisecond, "batch linger budget")
+		queue      = flag.Int("queue", 0, "submit queue depth (0 = default)")
+		deadline   = flag.Duration("deadline", 500*time.Millisecond, "load-shed deadline (0 disables)")
+		cacheSize  = flag.Int("cache", 4096, "verdict cache entries (0 = default)")
+	)
+	flag.Parse()
+
+	svc, err := buildService(*res, *modelPath, *pretrained, *samples, *epochs, *seed, *threshold, *int8Flag)
+	if err != nil {
+		log.Fatal("percival-serve: ", err)
+	}
+	engine := "fp32"
+	if svc.QuantizedActive() {
+		engine = "int8"
+	}
+	log.Printf("model ready: res=%d engine=%s (parity %.3f), %d KB weights",
+		svc.InputRes(), engine, svc.ParityAgreement(), svc.ModelSizeBytes()/1024)
+
+	srv, err := serve.New(svc, serve.Options{
+		MaxBatch:   *maxBatch,
+		Linger:     *linger,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Deadline:   *deadline,
+		CacheSize:  *cacheSize,
+	})
+	if err != nil {
+		log.Fatal("percival-serve: ", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", classifyHandler(srv))
+	mux.HandleFunc("GET /healthz", healthHandler(srv, engine))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, srv.Metrics().Expose())
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		httpSrv.Close()
+		srv.Close()
+	}()
+	log.Printf("serving on %s (batch<=%d linger=%v deadline=%v)", *addr, *maxBatch, *linger, *deadline)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal("percival-serve: ", err)
+	}
+	<-done
+}
+
+// buildService assembles the core classifier from flags: saved weights, a
+// quick-trained model, or deterministic untrained weights.
+func buildService(res int, modelPath string, pretrained bool, samples int, epochs int, seed int64, threshold float64, useInt8 bool) (*core.Percival, error) {
+	var arch squeezenet.Config
+	if res >= 224 {
+		arch = squeezenet.PaperConfig()
+	} else {
+		arch = squeezenet.SmallConfig(res)
+	}
+	var net *nn.Sequential
+	var err error
+	switch {
+	case modelPath != "":
+		net, err = squeezenet.Build(arch)
+		if err == nil {
+			err = nn.LoadFile(modelPath, net)
+		}
+	case pretrained:
+		net, err = squeezenet.Build(arch)
+		if err == nil {
+			squeezenet.PretrainedInit(net, seed)
+		}
+	default:
+		log.Printf("training reduced-scale model (res=%d samples=%d epochs=%d)...", res, samples, epochs)
+		net, _, err = percival.TrainNetwork(percival.QuickTrainOptions{
+			Res: res, Samples: samples, Epochs: epochs, Seed: seed, Log: os.Stderr,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{Threshold: threshold, DisableCache: true} // serve owns memoization
+	if useInt8 {
+		opts.Quantized = true
+		// representative creatives for calibration and the parity gate
+		opts.CalibFrames = synth.SampleFrames(seed+100, 32)
+	}
+	return core.New(net, arch, opts)
+}
+
+// verdict is the /classify response schema.
+type verdict struct {
+	Score  float64 `json:"score"`
+	Ad     bool    `json:"ad"`
+	Status string  `json:"status"`
+}
+
+// classifyHandler decodes the request body into a frame and submits it to
+// the batching service. Encoded images are sniffed (PNG/JPEG/GIF, like the
+// renderer's decode stage); raw RGBA needs ?w= and ?h=.
+func classifyHandler(srv *serve.Server) http.HandlerFunc {
+	const maxBody = 32 << 20
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxBody {
+			http.Error(w, "frame too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		frame, err := decodeFrame(r, body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := srv.Submit(frame)
+		w.Header().Set("Content-Type", "application/json")
+		if res.Status == serve.StatusShed {
+			// overloaded: the verdict is unknown; the client should render
+			// the frame (fail open) and may retry later
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(verdict{Score: res.Score, Ad: res.Ad, Status: res.Status.String()})
+	}
+}
+
+// decodeFrame interprets the request body as raw RGBA (octet-stream with
+// dimensions) or as an encoded image.
+func decodeFrame(r *http.Request, body []byte) (*imaging.Bitmap, error) {
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		var w, h int
+		if _, err := fmt.Sscan(r.URL.Query().Get("w"), &w); err != nil {
+			return nil, fmt.Errorf("raw frame needs ?w=")
+		}
+		if _, err := fmt.Sscan(r.URL.Query().Get("h"), &h); err != nil {
+			return nil, fmt.Errorf("raw frame needs ?h=")
+		}
+		if w <= 0 || h <= 0 || w*h*4 != len(body) {
+			return nil, fmt.Errorf("raw frame %dx%d does not match %d bytes", w, h, len(body))
+		}
+		b := imaging.NewBitmap(w, h)
+		copy(b.Pix, body)
+		return b, nil
+	}
+	frame, _, err := imaging.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("decode frame: %v", err)
+	}
+	return frame, nil
+}
+
+// healthHandler reports liveness and engine configuration.
+func healthHandler(srv *serve.Server, engine string) http.HandlerFunc {
+	type health struct {
+		OK        bool    `json:"ok"`
+		Engine    string  `json:"engine"`
+		InputRes  int     `json:"input_res"`
+		Threshold float64 `json:"threshold"`
+		CacheLen  int     `json:"cache_len"`
+		Submitted int64   `json:"submitted"`
+		Shed      int64   `json:"shed"`
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := srv.Metrics()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(health{
+			OK:        true,
+			Engine:    engine,
+			InputRes:  srv.Service().InputRes(),
+			Threshold: srv.Service().Threshold(),
+			CacheLen:  srv.CacheLen(),
+			Submitted: m.Submitted.Load(),
+			Shed:      m.Shed.Load(),
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"percival/internal/imaging"
 	"percival/internal/layout"
 	"percival/internal/raster"
+	"percival/internal/serve"
 	"percival/internal/webgen"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	Corpus  *webgen.Corpus
 	// Inspector is PERCIVAL's hook; nil renders the baseline.
 	Inspector raster.FrameInspector
+	// AsyncServe selects the asynchronous inspection mode: every image is
+	// submitted to the micro-batching classification service the moment its
+	// pixels are materialized — before layout — so classification runs
+	// concurrently with layout and rasterization, and the raster-time
+	// inspector merely resolves the in-flight verdict. Shed verdicts fail
+	// open (the frame renders). Mutually exclusive with Inspector.
+	AsyncServe *serve.Server
 	// RasterWorkers sizes the raster thread pool (default 4, Chromium's
 	// desktop default).
 	RasterWorkers int
@@ -70,6 +78,9 @@ func New(cfg Config) (*Browser, error) {
 	}
 	if cfg.Profile.Shields && cfg.Profile.List == nil {
 		return nil, fmt.Errorf("browser: shields profile needs a filter list")
+	}
+	if cfg.Inspector != nil && cfg.AsyncServe != nil {
+		return nil, fmt.Errorf("browser: Inspector and AsyncServe are mutually exclusive")
 	}
 	if cfg.RasterWorkers == 0 {
 		cfg.RasterWorkers = 4
@@ -232,8 +243,17 @@ func (b *Browser) Render(url string, epoch int) (*RenderResult, error) {
 	// is an artifact of the simulation, not browser work
 	encoded := map[string][]byte{}
 	dims := map[string][2]int{}
+	var futures map[string]*serve.Future
+	if b.cfg.AsyncServe != nil {
+		futures = make(map[string]*serve.Future, len(resolve))
+	}
 	for src, f := range resolve {
 		bm := f.spec.Render(epoch)
+		if futures != nil {
+			// async inspection: classification is in flight from the moment
+			// pixels exist, overlapping layout and rasterization below
+			futures[src] = b.cfg.AsyncServe.SubmitAsync(bm)
+		}
 		data, err := imaging.Encode(bm, f.spec.Format)
 		if err != nil {
 			return nil, fmt.Errorf("browser: encode %s: %w", src, err)
@@ -266,7 +286,11 @@ func (b *Browser) Render(url string, epoch int) (*RenderResult, error) {
 		data, ok := encoded[src]
 		return data, ok
 	}
-	r := raster.NewRasterizer(b.cfg.RasterWorkers, fetchFn, b.cfg.Inspector)
+	inspector := b.cfg.Inspector
+	if futures != nil {
+		inspector = &futureInspector{futures: futures}
+	}
+	r := raster.NewRasterizer(b.cfg.RasterWorkers, fetchFn, inspector)
 	h := box.H
 	if h < 1 {
 		h = 1
@@ -294,6 +318,23 @@ func (b *Browser) Render(url string, epoch int) (*RenderResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// futureInspector is the raster.FrameInspector installed in asynchronous
+// inspection mode: the frame's classification has been in flight since its
+// pixels were materialized, so raster workers only resolve the verdict
+// future — in-path time is the residual wait, not a model run. A shed
+// verdict (service overloaded) fails open and the frame renders.
+type futureInspector struct {
+	futures map[string]*serve.Future
+}
+
+func (fi *futureInspector) InspectFrame(src string, frame *imaging.Bitmap) bool {
+	fut, ok := fi.futures[src]
+	if !ok {
+		return false
+	}
+	return fut.Wait().Ad
 }
 
 // wasCleared asks the rasterizer's decode cache whether the frame ended up

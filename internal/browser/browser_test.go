@@ -5,9 +5,12 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"percival/internal/core"
 	"percival/internal/easylist"
 	"percival/internal/imaging"
 	"percival/internal/raster"
+	"percival/internal/serve"
+	"percival/internal/squeezenet"
 	"percival/internal/webgen"
 )
 
@@ -277,5 +280,84 @@ func TestHostOf(t *testing.T) {
 	}
 	if hostOf("http://x.com/path") != "x.com" {
 		t.Fatal("path not stripped")
+	}
+}
+
+// TestAsyncServeInspectionMatchesDirectVerdicts renders with the
+// micro-batching service in asynchronous inspection mode and checks that
+// the set of inspector-blocked creatives is exactly the set the service
+// itself flags as ads: the future-resolving inspector must not drop or
+// invent verdicts while classification overlaps rasterization.
+func TestAsyncServeInspectionMatchesDirectVerdicts(t *testing.T) {
+	c, _ := corpusAndList(t, 9, 6)
+	arch := squeezenet.SmallConfig(16)
+	net, err := squeezenet.Build(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squeezenet.PretrainedInit(net, 1)
+	svc, err := core.New(net, arch, core.Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(svc, serve.Options{Workers: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	b, err := New(Config{Profile: Chromium(), Corpus: c, AsyncServe: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, site := range c.TopSites(6) {
+		res, err := b.Render(site.PageURLs[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Inspects == 0 {
+			t.Fatalf("%s: async inspector never consulted", res.URL)
+		}
+		for _, ri := range res.Images {
+			if ri.BlockedByList {
+				continue
+			}
+			// the render submitted these exact pixels, so this resolves from
+			// the sharded cache with the identical score
+			direct := srv.Submit(ri.Spec.Render(0))
+			if direct.Status != serve.StatusCached {
+				t.Fatalf("%s: verdict for %s not memoized (status %v)", res.URL, ri.Spec.URL, direct.Status)
+			}
+			if ri.BlockedByInspector != direct.Ad {
+				t.Fatalf("%s: %s blocked=%v but service verdict ad=%v",
+					res.URL, ri.Spec.URL, ri.BlockedByInspector, direct.Ad)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d creatives checked", checked)
+	}
+	if srv.Metrics().Submitted.Load() == 0 {
+		t.Fatal("render submitted nothing to the service")
+	}
+}
+
+// TestAsyncServeConfigValidation: Inspector and AsyncServe are exclusive.
+func TestAsyncServeConfigValidation(t *testing.T) {
+	c, _ := corpusAndList(t, 10, 2)
+	ci := &countingInspector{corpus: c}
+	arch := squeezenet.SmallConfig(16)
+	net, _ := squeezenet.Build(arch)
+	squeezenet.PretrainedInit(net, 1)
+	svc, _ := core.New(net, arch, core.Options{})
+	srv, err := serve.New(svc, serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := New(Config{Profile: Chromium(), Corpus: c, Inspector: ci, AsyncServe: srv}); err == nil {
+		t.Fatal("Inspector+AsyncServe must be rejected")
 	}
 }

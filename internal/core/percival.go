@@ -269,11 +269,22 @@ func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
 	if len(frames) == 0 {
 		return nil
 	}
+	return p.ClassifyBatchInto(frames, make([]float64, len(frames)))
+}
+
+// ClassifyBatchInto is ClassifyBatch writing scores into a caller-provided
+// slice (len(out) >= len(frames)), so steady-state batched callers — the
+// serve batcher's dispatch workers — allocate nothing. Returns
+// out[:len(frames)].
+func (p *Percival) ClassifyBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	if len(frames) == 0 {
+		return out[:0]
+	}
 	start := time.Now()
 	st := p.getState()
 	res := p.cfg.InputRes
 	per := 4 * res * res
-	out := make([]float64, len(frames))
+	out = out[:len(frames)]
 	for lo := 0; lo < len(frames); lo += classifyBatchChunk {
 		hi := lo + classifyBatchChunk
 		if hi > len(frames) {
@@ -418,6 +429,12 @@ type verdictCache struct {
 }
 
 func newVerdictCache(max int) *verdictCache {
+	if max < 0 {
+		// Non-positive capacity means "no memoization": the cache stays
+		// usable (get always misses, put is a no-op) instead of panicking on
+		// the ring index.
+		max = 0
+	}
 	return &verdictCache{max: max, m: make(map[[32]byte]bool, max)}
 }
 
@@ -431,6 +448,9 @@ func (c *verdictCache) get(k [32]byte) (bool, bool) {
 func (c *verdictCache) put(k [32]byte, v bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return // capacity 0: memoization disabled, nothing to evict into
+	}
 	if _, exists := c.m[k]; exists {
 		c.m[k] = v
 		return

@@ -338,3 +338,92 @@ func TestClassifyBatchChunking(t *testing.T) {
 		}
 	}
 }
+
+// TestVerdictCacheZeroAndNegativeCapacity pins the fix for the mod-by-zero
+// panic: a cache constructed with max <= 0 must behave as "memoization
+// disabled" (put is a no-op, get always misses) instead of dividing by the
+// empty ring length on the first eviction.
+func TestVerdictCacheZeroAndNegativeCapacity(t *testing.T) {
+	key := func(i int) [32]byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		return sha256.Sum256(b[:])
+	}
+	for _, max := range []int{0, -1, -4096} {
+		c := newVerdictCache(max)
+		for i := 0; i < 4; i++ {
+			c.put(key(i), true) // must not panic
+		}
+		if c.len() != 0 {
+			t.Fatalf("max=%d: cache stored %d entries, want 0", max, c.len())
+		}
+		if _, ok := c.get(key(0)); ok {
+			t.Fatalf("max=%d: get hit on a disabled cache", max)
+		}
+	}
+}
+
+// TestVerdictCacheFIFOOrderDeterministic drives the ring through several
+// wrap-arounds and checks that eviction is exactly insertion-ordered: after
+// inserting keys 0..n-1 into a cache of capacity c, precisely the last c
+// keys remain, for every prefix length.
+func TestVerdictCacheFIFOOrderDeterministic(t *testing.T) {
+	const capacity = 4
+	key := func(i int) [32]byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		return sha256.Sum256(b[:])
+	}
+	c := newVerdictCache(capacity)
+	for i := 0; i < 3*capacity+1; i++ {
+		c.put(key(i), i%2 == 0)
+		oldest := i + 1 - capacity
+		if oldest < 0 {
+			oldest = 0
+		}
+		for j := 0; j <= i; j++ {
+			v, ok := c.get(key(j))
+			if j < oldest {
+				if ok {
+					t.Fatalf("after %d inserts: key %d should be FIFO-evicted", i+1, j)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("after %d inserts: key %d missing (oldest live %d)", i+1, j, oldest)
+			}
+			if v != (j%2 == 0) {
+				t.Fatalf("key %d verdict corrupted", j)
+			}
+		}
+	}
+}
+
+// TestClassifyBatchIntoReusesCallerSlice checks the zero-alloc batched entry
+// point used by the serve dispatch workers: scores land in the provided
+// slice and match ClassifyBatch.
+func TestClassifyBatchIntoReusesCallerSlice(t *testing.T) {
+	p := testService(t, Options{DisableCache: true})
+	g := synth.NewGenerator(41, synth.CrawlStyle())
+	frames := make([]*imaging.Bitmap, 5)
+	for i := range frames {
+		frames[i], _ = g.Sample()
+	}
+	out := make([]float64, 8)
+	got := p.ClassifyBatchInto(frames, out)
+	if len(got) != len(frames) {
+		t.Fatalf("got %d scores, want %d", len(got), len(frames))
+	}
+	if &got[0] != &out[0] {
+		t.Fatal("ClassifyBatchInto must write into the caller's slice")
+	}
+	want := p.ClassifyBatch(frames)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d: into=%v batch=%v", i, got[i], want[i])
+		}
+	}
+	if n := p.ClassifyBatchInto(nil, out); len(n) != 0 {
+		t.Fatal("empty batch must return an empty slice")
+	}
+}

@@ -99,9 +99,12 @@ func Parse(html string) *Node {
 		node.Parent = top
 		top.Children = append(top.Children, node)
 		if rawTextTags[name] && !selfClose {
-			// consume raw text until the close tag
+			// consume raw text until the close tag. The search must be
+			// length-preserving: strings.ToLower re-encodes invalid UTF-8
+			// bytes as U+FFFD (3 bytes), so an index found in a lowered copy
+			// can overrun the original string.
 			closeTag := "</" + name
-			idx := strings.Index(strings.ToLower(html[i:]), closeTag)
+			idx := indexFoldASCII(html[i:], closeTag)
 			if idx < 0 {
 				break
 			}
@@ -121,6 +124,28 @@ func Parse(html string) *Node {
 		}
 	}
 	return root
+}
+
+// indexFoldASCII returns the first index of needle (lowercase ASCII) in s
+// under ASCII case-folding, or -1. Byte-oriented, so positions are valid
+// indices into s regardless of encoding.
+func indexFoldASCII(s, needle string) int {
+	for i := 0; i+len(needle) <= len(s); i++ {
+		j := 0
+		for ; j < len(needle); j++ {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != needle[j] {
+				break
+			}
+		}
+		if j == len(needle) {
+			return i
+		}
+	}
+	return -1
 }
 
 // parseTag splits "div class=x id='y'" into name and attributes.

@@ -1,0 +1,79 @@
+package dom
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the tolerant HTML parser with arbitrary markup. The
+// contract mirrors a browser parser: any byte sequence produces a
+// well-formed tree (no panics, consistent parent pointers, a #document
+// root), the tree re-serializes, and the serialized form re-parses.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<html><body><div class=\"ad-banner\"><img src=\"http://cdn.x/a.png\"></div></body></html>",
+		"<div><p>unclosed<p>paragraphs<div>nested",
+		"<!-- comment --><!DOCTYPE html><html></html>",
+		"<script>var x = '<div>not a tag</div>';</script>",
+		"<style>.ad { display:none }</style>text",
+		"<iframe src='http://adnet.example/frame/1.html'></iframe>",
+		"<img src=x onerror=alert(1)//",
+		"<div class='a b c' id=\"q\" data-x>text</div>",
+		"<a><b><c></a></b></c>",
+		"< notatag >< /customtag>",
+		"<div",
+		"</",
+		"<>",
+		"<!--",
+		"<script>",
+		"plain text only",
+		"<p attr=\"unterminated",
+		"<self-close/><void br><input type=checkbox checked>",
+		// regression: invalid UTF-8 inside a raw-text element used to panic
+		// (ToLower grew the string past the original's bounds)
+		"<stYle>\x89\x89\x89\x89</stYle",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		root := Parse(html)
+		if root == nil || root.Tag != "#document" {
+			t.Fatal("parse must produce a #document root")
+		}
+		checkTree(t, root)
+		// selector matching over arbitrary trees must not panic
+		root.QuerySelectorAll(".ad-banner")
+		root.QuerySelectorAll("#q")
+		root.QuerySelectorAll("div")
+		root.ByTag("img")
+		root.ByID("q")
+		// the serialized form must itself be parseable into a sound tree
+		rendered := root.Render()
+		again := Parse(rendered)
+		if again == nil || again.Tag != "#document" {
+			t.Fatal("re-parse of rendered tree failed")
+		}
+		checkTree(t, again)
+	})
+}
+
+// checkTree verifies structural invariants: parent pointers match the
+// child lists, and no node is its own ancestor (the visit terminates
+// because Walk recurses the child lists, which checkTree bounds).
+func checkTree(t *testing.T, root *Node) {
+	t.Helper()
+	seen := map[*Node]bool{}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			t.Fatal("node appears twice in the tree")
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			if c.Parent != n {
+				t.Fatalf("child %q has wrong parent pointer", c.Tag)
+			}
+			visit(c)
+		}
+	}
+	visit(root)
+}

@@ -1,0 +1,76 @@
+package easylist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the EasyList parser and matcher with arbitrary list
+// text. The parser's contract is browser-grade tolerance: malformed rules
+// are reported as errors, never panics, and whatever does parse must
+// evaluate against requests without crashing.
+func FuzzParse(f *testing.F) {
+	// seeds: the grammar corners the unit tests pin, plus real-shaped rules
+	// from the synthetic corpus generator
+	for _, seed := range []string{
+		"[Adblock Plus 2.0]\n! comment\n\n||ads.example.com^\n",
+		"||adnet.com^",
+		"|http://exact.com/ad.gif|",
+		"@@||good.example.com/ads$image",
+		"&ad_box_$~third-party,image",
+		"/banners/*.png$domain=news1.example|~blog2.example",
+		"||cdn.adsrv.adnet.example^$image,subdocument",
+		"##.ad-banner",
+		"news1.example##.sponsored-box",
+		"blog2.example#@#.promo-unit",
+		"*ads*tracking*^$script",
+		"^^^^",
+		"||",
+		"@@",
+		"$domain=",
+		"a$unsupportedopt",
+		"||x^|",
+		"!! not a rule ## but looks cosmetic",
+	} {
+		f.Add(seed)
+	}
+	reqs := []Request{
+		{URL: "http://cdn.adsrv.adnet.example/banners/1-0-0.png", Domain: "cdn.adsrv.adnet.example", PageDomain: "news1.example", Type: TypeImage},
+		{URL: "https://example.com/", Domain: "example.com", PageDomain: "example.com", Type: TypeSubdocument},
+		{URL: "no-scheme-at-all", Domain: "", PageDomain: "", Type: TypeOther},
+		{URL: "", Domain: "", PageDomain: "x", Type: TypeScript},
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		list, errs := Parse(text)
+		if list == nil {
+			t.Fatal("Parse returned nil list")
+		}
+		// every input line is accounted for: parsed or skipped, never both
+		lines := 0
+		for _, ln := range strings.Split(text, "\n") {
+			if s := strings.TrimSpace(ln); s != "" && !strings.HasPrefix(s, "!") && !strings.HasPrefix(s, "[") {
+				lines++
+			}
+		}
+		if got := len(list.Network) + len(list.Cosmetic) + len(errs); got > lines {
+			t.Fatalf("%d rules+errors from %d candidate lines", got, lines)
+		}
+		for i := range list.Network {
+			r := &list.Network[i]
+			if r.Raw == "" {
+				t.Fatal("parsed rule lost its raw text")
+			}
+			for _, req := range reqs {
+				r.Matches(req) // must not panic
+			}
+		}
+		for _, req := range reqs {
+			blocked := list.ShouldBlock(req)
+			if blocked && list.MatchingRule(req) == nil {
+				t.Fatal("ShouldBlock true but no matching rule")
+			}
+		}
+		list.HideSelectors("news1.example")
+		list.HideSelectors("")
+	})
+}

@@ -1,0 +1,170 @@
+// Live (concurrency-safe) metrics for the serving path. Unlike Confusion
+// and Latencies — offline accumulators for the paper's evaluation figures —
+// these are updated from many goroutines on the hot request path, so every
+// write is a single atomic op and Observe never allocates.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing concurrency-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// DefaultLatencyBucketsMS is the exponential bucket ladder used for serving
+// latency histograms, in milliseconds. The top bucket is implicit (+Inf).
+var DefaultLatencyBucketsMS = []float64{
+	0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+}
+
+// Histogram is a fixed-bucket concurrency-safe histogram. Observe is a
+// bucket search plus two atomic adds: safe to call from every request
+// goroutine with zero allocation.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; last bucket is +Inf
+	counts []atomic.Int64 // len(bounds)+1
+	total  atomic.Int64
+	// sumMicro accumulates the sum in integer micro-units (value * 1e3 for
+	// millisecond observations) so it can be a plain atomic add.
+	sumMicro atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil uses DefaultLatencyBucketsMS).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBucketsMS
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// linear scan: the ladder is short and the common buckets come first
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumMicro.Add(int64(v * 1e3))
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int64 { return h.total.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e3 }
+
+// Mean returns the sample mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation within
+// the containing bucket. The +Inf bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				return lo // open-ended top bucket
+			}
+			hi := h.bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramBucket is one row of a snapshot.
+type HistogramBucket struct {
+	UpperBound float64 // math.Inf(1) for the top bucket
+	Count      int64
+}
+
+// Snapshot returns the bucket counts. Concurrent Observe calls may land
+// between bucket reads; totals are internally consistent enough for
+// monitoring, which is all a live histogram promises.
+func (h *Histogram) Snapshot() []HistogramBucket {
+	out := make([]HistogramBucket, len(h.counts))
+	for i := range h.counts {
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = HistogramBucket{UpperBound: ub, Count: h.counts[i].Load()}
+	}
+	return out
+}
+
+// Expose renders the histogram in Prometheus text exposition format
+// (cumulative le buckets, sum, count) under the given metric name.
+func (h *Histogram) Expose(name string) string {
+	var sb strings.Builder
+	var cum int64
+	for _, b := range h.Snapshot() {
+		cum += b.Count
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = fmt.Sprintf("%g", b.UpperBound)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(&sb, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(&sb, "%s_count %d\n", name, h.N())
+	return sb.String()
+}
+
+// ExposeCounter renders one counter in Prometheus text exposition format.
+func ExposeCounter(name string, c *Counter) string {
+	return fmt.Sprintf("%s %d\n", name, c.Load())
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"percival/internal/imaging"
+)
+
+// frameKey is the content-hash cache key: SHA-256 of the pixel buffer with
+// the dimensions folded into the leading bytes, so two buffers of equal
+// byte-length but different shapes cannot collide. Computed with
+// sha256.Sum256 (stack-allocated state), so hashing a frame on the submit
+// hot path performs no heap allocation — unlike imaging.ContentHash, whose
+// hash.Hash interface forces its state to escape.
+type frameKey [32]byte
+
+func hashFrame(b *imaging.Bitmap) frameKey {
+	k := frameKey(sha256.Sum256(b.Pix))
+	var dims [8]byte
+	binary.LittleEndian.PutUint32(dims[0:], uint32(b.W))
+	binary.LittleEndian.PutUint32(dims[4:], uint32(b.H))
+	for i, d := range dims {
+		k[i] ^= d
+	}
+	return k
+}
+
+// cacheShard is one lock domain of the sharded verdict cache: a bounded
+// FIFO-evicting verdict map (the concurrent counterpart of core's
+// verdictCache) plus the in-flight leader table used for request
+// coalescing — a follower submitting a frame that is already being
+// classified attaches to the leader instead of queueing a duplicate model
+// run.
+type cacheShard struct {
+	mu      sync.Mutex
+	max     int // 0 = memoization disabled (pending table still active)
+	m       map[frameKey]float64
+	order   []frameKey
+	next    int
+	pending map[frameKey]*request
+}
+
+// shardedCache spreads verdict lookups over 2^k independently locked
+// shards, replacing the single-mutex cache as the hot-path bottleneck when
+// many goroutines submit concurrently.
+type shardedCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+func newShardedCache(shards, total int) *shardedCache {
+	if shards < 1 {
+		shards = 1
+	}
+	// round up to a power of two so shard selection is a mask
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := 0
+	if total > 0 {
+		per = (total + n - 1) / n
+	}
+	c := &shardedCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			max:     per,
+			m:       make(map[frameKey]float64, per),
+			pending: map[frameKey]*request{},
+		}
+	}
+	return c
+}
+
+func (c *shardedCache) shard(k frameKey) *cacheShard {
+	// the key is a cryptographic hash: any 4 bytes are uniformly distributed
+	return &c.shards[binary.LittleEndian.Uint32(k[8:12])&c.mask]
+}
+
+// Lookups happen inline in Server.begin under the shard lock, composed
+// with the pending-leader check — a standalone get would let callers race
+// the coalescing protocol.
+
+// put memoizes a score with FIFO eviction, mirroring core's verdictCache
+// semantics (including the max<=0 "disabled" guard).
+func (s *cacheShard) put(k frameKey, v float64) {
+	if s.max <= 0 {
+		return
+	}
+	if _, exists := s.m[k]; exists {
+		s.m[k] = v
+		return
+	}
+	if len(s.m) >= s.max {
+		old := s.order[s.next%len(s.order)]
+		delete(s.m, old)
+		s.order[s.next%len(s.order)] = k
+		s.next++
+	} else {
+		s.order = append(s.order, k)
+	}
+	s.m[k] = v
+}
+
+// reset drops every memoized verdict (creative-rotation epochs, tests,
+// benchmarks). In-flight leaders are left untouched.
+func (c *shardedCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.m)
+		s.order = s.order[:0]
+		s.next = 0
+		s.mu.Unlock()
+	}
+}
+
+// len reports the number of memoized verdicts across all shards.
+func (c *shardedCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,531 @@
+// Package serve turns PERCIVAL's synchronous per-caller classifier into a
+// concurrent micro-batching service: many goroutines Submit single frames,
+// a coalescing batcher collects them into batches bounded by size and a
+// latency budget, and per-worker dispatch loops run each batch through the
+// warm arena-backed engine (FP32 or INT8, whichever the parity gate
+// selected) in one forward pass. This is the throughput story the paper's
+// deployment needs at scale: per-frame latency is already hardware-bound,
+// so serving millions of users is about amortizing forward passes and
+// never classifying the same creative twice.
+//
+// The service layers three mechanisms in front of the model:
+//
+//   - a sharded verdict cache keyed by frame content hash, replacing the
+//     single-mutex memoization cache as the hot-path bottleneck;
+//   - in-flight request coalescing: a frame identical to one already being
+//     classified attaches to the in-flight request instead of queueing a
+//     duplicate model run (ad creatives repeat — that is the point);
+//   - bounded queues with backpressure and deadline load-shedding: when the
+//     system cannot keep up, requests older than the deadline resolve to
+//     StatusShed ("verdict unknown", render the frame) instead of growing
+//     the queue without bound.
+//
+// Counters and latency histograms are exported through internal/metrics and
+// rendered by cmd/percival-serve's /metrics endpoint.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"percival/internal/core"
+	"percival/internal/imaging"
+	"percival/internal/metrics"
+)
+
+// Status reports how a submission was resolved.
+type Status uint8
+
+// Submission outcomes.
+const (
+	// StatusClassified: the model scored this frame (it led a batch slot).
+	StatusClassified Status = iota
+	// StatusCached: the verdict came from the sharded content-hash cache.
+	StatusCached
+	// StatusCoalesced: an identical frame was already in flight; this
+	// request attached to it and shares its verdict.
+	StatusCoalesced
+	// StatusShed: the service was overloaded and rejected the request past
+	// its deadline. The verdict is unknown; callers must fail open (render
+	// the frame) — dropping content is worse than showing an ad.
+	StatusShed
+)
+
+// String names the status for logs and JSON verdicts.
+func (s Status) String() string {
+	switch s {
+	case StatusClassified:
+		return "classified"
+	case StatusCached:
+		return "cached"
+	case StatusCoalesced:
+		return "coalesced"
+	case StatusShed:
+		return "shed"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Result is one resolved classification.
+type Result struct {
+	// Score is the ad probability (0 when Status is StatusShed).
+	Score float64
+	// Ad applies the service threshold to Score; always false for shed
+	// requests (verdict unknown fails open).
+	Ad bool
+	// Status records how the verdict was produced.
+	Status Status
+}
+
+// Options tunes the batching service. The zero value gets sensible
+// defaults from New.
+type Options struct {
+	// MaxBatch caps frames per dispatched forward pass (default 16,
+	// matching core's batch chunk so one dispatch is one forward pass).
+	MaxBatch int
+	// Linger is how long the coalescer holds an underfull batch open
+	// waiting for more submissions (default 2ms). Smaller favors latency,
+	// larger favors batch fill.
+	Linger time.Duration
+	// Workers is the number of dispatch workers, each driving warm
+	// per-worker inference state (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submit queue (default 4*Workers*MaxBatch).
+	// A full queue blocks submitters — backpressure, not buffering.
+	QueueDepth int
+	// Deadline sheds requests that waited longer than this before their
+	// batch was dispatched (0 disables shedding).
+	Deadline time.Duration
+	// CacheSize bounds the sharded verdict cache in total entries
+	// (default 4096).
+	CacheSize int
+	// CacheShards is the lock-domain count, rounded up to a power of two
+	// (default 16).
+	CacheShards int
+	// DisableCache turns verdict memoization off. In-flight coalescing
+	// stays active.
+	DisableCache bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 16
+	}
+	if o.Linger == 0 {
+		o.Linger = 2 * time.Millisecond
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4 * o.Workers * o.MaxBatch
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.CacheShards == 0 {
+		o.CacheShards = 16
+	}
+	return o
+}
+
+// Metrics are the service's live counters and histograms, exported through
+// internal/metrics and safe to read while the server runs.
+type Metrics struct {
+	// Submitted counts every Submit/SubmitAsync call.
+	Submitted metrics.Counter
+	// CacheHits counts verdicts served from the sharded cache.
+	CacheHits metrics.Counter
+	// Coalesced counts requests that attached to an in-flight duplicate.
+	Coalesced metrics.Counter
+	// Classified counts frames actually scored by the model.
+	Classified metrics.Counter
+	// Shed counts requests rejected with verdict-unknown.
+	Shed metrics.Counter
+	// Batches counts dispatched forward passes.
+	Batches metrics.Counter
+	// BatchFill records frames per dispatched batch.
+	BatchFill *metrics.Histogram
+	// LatencyMS records enqueue→resolve latency for model-scored frames.
+	LatencyMS *metrics.Histogram
+}
+
+// Expose renders every metric in Prometheus text exposition format.
+func (m *Metrics) Expose() string {
+	return metrics.ExposeCounter("percival_serve_submitted_total", &m.Submitted) +
+		metrics.ExposeCounter("percival_serve_cache_hits_total", &m.CacheHits) +
+		metrics.ExposeCounter("percival_serve_coalesced_total", &m.Coalesced) +
+		metrics.ExposeCounter("percival_serve_classified_total", &m.Classified) +
+		metrics.ExposeCounter("percival_serve_shed_total", &m.Shed) +
+		metrics.ExposeCounter("percival_serve_batches_total", &m.Batches) +
+		m.BatchFill.Expose("percival_serve_batch_fill") +
+		m.LatencyMS.Expose("percival_serve_latency_ms")
+}
+
+// request is one in-flight submission. Requests are pooled: the done
+// channel is allocated once and reused, so a steady-state Submit performs
+// no heap allocation.
+type request struct {
+	frame     *imaging.Bitmap
+	key       frameKey
+	enq       time.Time
+	score     float64
+	status    Status
+	done      chan struct{} // buffered(1): resolver never blocks
+	followers []*request    // coalesced duplicates, guarded by the key's shard lock
+}
+
+// Server is the micro-batching classification service.
+type Server struct {
+	svc   *core.Percival
+	opts  Options
+	cache *shardedCache
+
+	queue       chan *request
+	batches     chan []*request
+	freeBatches chan []*request
+
+	reqPool sync.Pool
+
+	// closeMu serializes submissions against Close: submitters hold the
+	// read side across pending-registration and the queue send, so the
+	// queue is never closed under an in-flight sender.
+	closeMu sync.RWMutex
+	closed  bool
+	loopsWG sync.WaitGroup // coalescer + workers
+
+	met Metrics
+}
+
+// New builds and starts a Server in front of a core.Percival service.
+func New(svc *core.Percival, opts Options) (*Server, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("serve: nil classifier service")
+	}
+	opts = opts.withDefaults()
+	if opts.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: MaxBatch %d < 1", opts.MaxBatch)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("serve: Workers %d < 1", opts.Workers)
+	}
+	if opts.QueueDepth < 1 {
+		return nil, fmt.Errorf("serve: QueueDepth %d < 1", opts.QueueDepth)
+	}
+	cacheSize := opts.CacheSize
+	if opts.DisableCache {
+		cacheSize = 0
+	}
+	s := &Server{
+		svc:         svc,
+		opts:        opts,
+		cache:       newShardedCache(opts.CacheShards, cacheSize),
+		queue:       make(chan *request, opts.QueueDepth),
+		batches:     make(chan []*request, opts.Workers),
+		freeBatches: make(chan []*request, opts.Workers+2),
+	}
+	s.met.BatchFill = metrics.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64})
+	s.met.LatencyMS = metrics.NewHistogram(nil)
+	s.reqPool.New = func() any {
+		return &request{done: make(chan struct{}, 1)}
+	}
+	s.loopsWG.Add(1)
+	go s.coalesce()
+	for i := 0; i < opts.Workers; i++ {
+		s.loopsWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Service returns the wrapped classifier (model introspection, stats).
+func (s *Server) Service() *core.Percival { return s.svc }
+
+// Metrics returns the live service metrics.
+func (s *Server) Metrics() *Metrics { return &s.met }
+
+// CacheLen reports the number of memoized verdicts.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// ResetCache drops all memoized verdicts (creative-rotation epoch).
+func (s *Server) ResetCache() { s.cache.reset() }
+
+// result materializes a Result from a resolved request.
+func (s *Server) result(r *request) Result {
+	if r.status == StatusShed {
+		return Result{Status: StatusShed}
+	}
+	return Result{Score: r.score, Ad: r.score >= s.svc.Threshold(), Status: r.status}
+}
+
+// getRequest checks a pooled request out for one submission.
+func (s *Server) getRequest(frame *imaging.Bitmap, key frameKey) *request {
+	r := s.reqPool.Get().(*request)
+	r.frame = frame
+	r.key = key
+	r.enq = time.Now()
+	r.score = 0
+	r.status = StatusClassified
+	return r
+}
+
+func (s *Server) putRequest(r *request) {
+	r.frame = nil
+	r.followers = r.followers[:0]
+	s.reqPool.Put(r)
+}
+
+// begin starts one submission: cache lookup, in-flight coalescing, or
+// leader enqueue. It returns either an immediate result (ok=true) or the
+// request to wait on.
+func (s *Server) begin(frame *imaging.Bitmap) (Result, bool, *request) {
+	s.met.Submitted.Inc()
+	key := hashFrame(frame)
+	sh := s.cache.shard(key)
+
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		s.met.Shed.Inc()
+		return Result{Status: StatusShed}, true, nil
+	}
+
+	sh.mu.Lock()
+	if v, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		s.closeMu.RUnlock()
+		s.met.CacheHits.Inc()
+		return Result{Score: v, Ad: v >= s.svc.Threshold(), Status: StatusCached}, true, nil
+	}
+	if leader, ok := sh.pending[key]; ok {
+		f := s.getRequest(nil, key)
+		leader.followers = append(leader.followers, f)
+		sh.mu.Unlock()
+		s.closeMu.RUnlock()
+		return Result{}, false, f
+	}
+	r := s.getRequest(frame, key)
+	sh.pending[key] = r
+	sh.mu.Unlock()
+
+	// Bounded queue: a full queue blocks the submitter (backpressure);
+	// requests that then sit past the deadline are shed at dispatch.
+	s.queue <- r
+	s.closeMu.RUnlock()
+	return Result{}, false, r
+}
+
+// Submit classifies one frame through the batching service, blocking until
+// its batch resolves (or the request is shed). Safe for arbitrary
+// concurrency; the steady state allocates nothing.
+func (s *Server) Submit(frame *imaging.Bitmap) Result {
+	res, done, r := s.begin(frame)
+	if done {
+		return res
+	}
+	<-r.done
+	res = s.result(r)
+	s.putRequest(r)
+	return res
+}
+
+// Future is a pending asynchronous classification from SubmitAsync.
+type Future struct {
+	s   *Server
+	r   *request
+	res Result
+}
+
+// Wait blocks until the verdict is available. Safe to call repeatedly; the
+// first call releases the underlying pooled request.
+func (f *Future) Wait() Result {
+	if f.r != nil {
+		<-f.r.done
+		f.res = f.s.result(f.r)
+		f.s.putRequest(f.r)
+		f.r = nil
+	}
+	return f.res
+}
+
+// SubmitAsync starts a classification and returns a Future, letting the
+// caller overlap other work (rasterization) with the in-flight batch.
+func (s *Server) SubmitAsync(frame *imaging.Bitmap) *Future {
+	res, done, r := s.begin(frame)
+	if done {
+		return &Future{res: res}
+	}
+	return &Future{s: s, r: r}
+}
+
+// coalesce is the batching loop: it drains the submit queue into batches
+// bounded by MaxBatch and the Linger budget, then hands each batch to a
+// dispatch worker.
+func (s *Server) coalesce() {
+	defer s.loopsWG.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	batch := s.getBatchSlice()
+	flush := func() {
+		if len(batch) > 0 {
+			s.batches <- batch
+			batch = s.getBatchSlice()
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			r, ok := <-s.queue
+			if !ok {
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) >= s.opts.MaxBatch {
+				flush()
+				continue
+			}
+			timer.Reset(s.opts.Linger)
+		}
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				stopTimer()
+				flush()
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) >= s.opts.MaxBatch {
+				stopTimer()
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}
+
+func (s *Server) getBatchSlice() []*request {
+	select {
+	case b := <-s.freeBatches:
+		return b
+	default:
+		return make([]*request, 0, s.opts.MaxBatch)
+	}
+}
+
+// worker is one dispatch loop: it owns reusable frame/score slices and runs
+// each batch through core's warm arena-backed batch path (the per-worker
+// replica state lives in core's inference-state pool, one checkout per
+// concurrent dispatch).
+func (s *Server) worker() {
+	defer s.loopsWG.Done()
+	frames := make([]*imaging.Bitmap, 0, s.opts.MaxBatch)
+	live := make([]*request, 0, s.opts.MaxBatch)
+	scores := make([]float64, s.opts.MaxBatch)
+	for batch := range s.batches {
+		frames = frames[:0]
+		live = live[:0]
+		if s.opts.Deadline > 0 {
+			now := time.Now()
+			for _, r := range batch {
+				if now.Sub(r.enq) > s.opts.Deadline {
+					s.resolveShed(r)
+					continue
+				}
+				live = append(live, r)
+				frames = append(frames, r.frame)
+			}
+		} else {
+			for _, r := range batch {
+				live = append(live, r)
+				frames = append(frames, r.frame)
+			}
+		}
+		if len(live) > 0 {
+			out := s.svc.ClassifyBatchInto(frames, scores[:len(live)])
+			s.met.Batches.Inc()
+			s.met.BatchFill.Observe(float64(len(live)))
+			s.met.Classified.Add(int64(len(live)))
+			for i, r := range live {
+				s.resolve(r, out[i])
+			}
+		}
+		select {
+		case s.freeBatches <- batch[:0]:
+		default:
+		}
+	}
+}
+
+// resolve publishes a model verdict: memoize, release the in-flight slot,
+// fan the score out to coalesced followers, wake the leader.
+func (s *Server) resolve(r *request, score float64) {
+	s.met.LatencyMS.Observe(float64(time.Since(r.enq).Nanoseconds()) / 1e6)
+	sh := s.cache.shard(r.key)
+	sh.mu.Lock()
+	sh.put(r.key, score)
+	if sh.pending[r.key] == r {
+		delete(sh.pending, r.key)
+	}
+	followers := r.followers
+	r.followers = nil
+	sh.mu.Unlock()
+	for _, f := range followers {
+		f.score = score
+		f.status = StatusCoalesced
+		s.met.Coalesced.Inc()
+		f.done <- struct{}{}
+	}
+	r.score = score
+	r.status = StatusClassified
+	r.done <- struct{}{}
+}
+
+// resolveShed rejects a request (and any coalesced followers) with
+// verdict-unknown.
+func (s *Server) resolveShed(r *request) {
+	sh := s.cache.shard(r.key)
+	sh.mu.Lock()
+	if sh.pending[r.key] == r {
+		delete(sh.pending, r.key)
+	}
+	followers := r.followers
+	r.followers = nil
+	sh.mu.Unlock()
+	for _, f := range followers {
+		f.status = StatusShed
+		s.met.Shed.Inc()
+		f.done <- struct{}{}
+	}
+	r.status = StatusShed
+	s.met.Shed.Inc()
+	r.done <- struct{}{}
+}
+
+// Close drains the service: it waits for in-flight submitters, stops the
+// batcher and workers, and resolves everything still queued. Submissions
+// racing with Close resolve as StatusShed. The server must not be used
+// after Close.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	close(s.queue)
+	s.loopsWG.Wait()
+}

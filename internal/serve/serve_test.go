@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"percival/internal/core"
+	"percival/internal/imaging"
+	"percival/internal/squeezenet"
+	"percival/internal/synth"
+)
+
+// testCore builds a PERCIVAL service around a deterministic untrained small
+// network; serve tests exercise the batching mechanics, not verdict quality.
+func testCore(t testing.TB, opts core.Options) *core.Percival {
+	t.Helper()
+	cfg := squeezenet.SmallConfig(16)
+	net, err := squeezenet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squeezenet.PretrainedInit(net, 1)
+	p, err := core.New(net, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testServer(t testing.TB, copts core.Options, sopts Options) *Server {
+	t.Helper()
+	s, err := New(testCore(t, copts), sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestNewValidatesInputs(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil service must be rejected")
+	}
+	if _, err := New(testCore(t, core.Options{}), Options{MaxBatch: -1}); err == nil {
+		t.Fatal("negative MaxBatch must be rejected")
+	}
+}
+
+// TestSubmitMatchesSynchronousClassify is the correctness anchor: a frame
+// scored through the batcher must get exactly the score the synchronous
+// path produces (both run the same engine over the same warm state).
+func TestSubmitMatchesSynchronousClassify(t *testing.T) {
+	svc := testCore(t, core.Options{})
+	s, err := New(svc, Options{Workers: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, f := range synth.SampleFrames(7, 12) {
+		got := s.Submit(f)
+		if got.Status == StatusShed {
+			t.Fatalf("frame %d shed with no load", i)
+		}
+		want := svc.Classify(f)
+		if math.Abs(got.Score-want) > 1e-6 {
+			t.Fatalf("frame %d: serve score %v, sync score %v", i, got.Score, want)
+		}
+		if got.Ad != (want >= svc.Threshold()) {
+			t.Fatalf("frame %d: verdict mismatch", i)
+		}
+	}
+}
+
+// TestConcurrentSubmitsCoalesceIntoBatches drives many goroutines through
+// the service and checks every caller resolves with a consistent verdict
+// while the model ran fewer forward passes than submissions.
+func TestConcurrentSubmitsCoalesceIntoBatches(t *testing.T) {
+	s := testServer(t, core.Options{}, Options{Workers: 2, MaxBatch: 8, Linger: time.Millisecond})
+	frames := synth.SampleFrames(11, 16)
+	const callers = 16
+	scores := make([][]float64, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			scores[c] = make([]float64, len(frames))
+			for i, f := range frames {
+				r := s.Submit(f)
+				if r.Status == StatusShed {
+					t.Errorf("caller %d frame %d shed", c, i)
+					return
+				}
+				scores[c][i] = r.Score
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		for i := range frames {
+			if scores[c][i] != scores[0][i] {
+				t.Fatalf("caller %d frame %d: score %v != caller 0's %v", c, i, scores[c][i], scores[0][i])
+			}
+		}
+	}
+	m := s.Metrics()
+	if m.Classified.Load() >= m.Submitted.Load() {
+		t.Fatalf("no dedup: %d classified of %d submitted", m.Classified.Load(), m.Submitted.Load())
+	}
+	if m.CacheHits.Load()+m.Coalesced.Load() == 0 {
+		t.Fatal("identical frames must hit the cache or coalesce in flight")
+	}
+	if m.Batches.Load() == 0 {
+		t.Fatal("no batches dispatched")
+	}
+}
+
+// TestCacheHitSkipsModel: a repeat submission must resolve from the sharded
+// cache without another forward pass.
+func TestCacheHitSkipsModel(t *testing.T) {
+	s := testServer(t, core.Options{}, Options{Workers: 1})
+	f := synth.SampleFrames(13, 1)[0]
+	first := s.Submit(f)
+	if first.Status != StatusClassified {
+		t.Fatalf("first submission status %v", first.Status)
+	}
+	classified := s.Metrics().Classified.Load()
+	second := s.Submit(f)
+	if second.Status != StatusCached {
+		t.Fatalf("repeat submission status %v, want cached", second.Status)
+	}
+	if second.Score != first.Score {
+		t.Fatal("cached score differs")
+	}
+	if got := s.Metrics().Classified.Load(); got != classified {
+		t.Fatalf("repeat submission ran the model (%d -> %d)", classified, got)
+	}
+	if s.CacheLen() == 0 {
+		t.Fatal("cache empty after a classified frame")
+	}
+	s.ResetCache()
+	if s.CacheLen() != 0 {
+		t.Fatal("ResetCache left entries behind")
+	}
+}
+
+// TestInflightCoalescingWithCacheDisabled: concurrent submissions of the
+// same frame must share one model run even without memoization.
+func TestInflightCoalescingWithCacheDisabled(t *testing.T) {
+	s := testServer(t, core.Options{}, Options{
+		Workers: 1, MaxBatch: 4, Linger: 20 * time.Millisecond, DisableCache: true,
+	})
+	f := synth.SampleFrames(17, 1)[0]
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]Result, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = s.Submit(f)
+		}(c)
+	}
+	wg.Wait()
+	coalesced := 0
+	for c, r := range results {
+		if r.Status == StatusShed {
+			t.Fatalf("caller %d shed", c)
+		}
+		if r.Score != results[0].Score {
+			t.Fatalf("caller %d score %v != %v", c, r.Score, results[0].Score)
+		}
+		if r.Status == StatusCoalesced {
+			coalesced++
+		}
+	}
+	if coalesced == 0 {
+		t.Fatal("no caller coalesced onto the in-flight duplicate")
+	}
+	if s.CacheLen() != 0 {
+		t.Fatal("DisableCache must not memoize")
+	}
+}
+
+// TestDeadlineLoadShedding: with a one-lane worker pinned by a slow batch
+// and a tiny deadline, queued requests must resolve StatusShed (verdict
+// unknown, fail open) rather than waiting forever.
+func TestDeadlineLoadShedding(t *testing.T) {
+	s := testServer(t, core.Options{}, Options{
+		Workers: 1, MaxBatch: 1, Linger: time.Microsecond,
+		QueueDepth: 64, Deadline: time.Nanosecond, DisableCache: true,
+	})
+	frames := synth.SampleFrames(19, 32)
+	var wg sync.WaitGroup
+	shed := make([]bool, len(frames))
+	for i, f := range frames {
+		wg.Add(1)
+		go func(i int, f *imaging.Bitmap) {
+			defer wg.Done()
+			r := s.Submit(f)
+			shed[i] = r.Status == StatusShed
+			if r.Status == StatusShed && (r.Ad || r.Score != 0) {
+				t.Error("shed result must fail open with zero score")
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	anyShed := false
+	for _, v := range shed {
+		anyShed = anyShed || v
+	}
+	if !anyShed {
+		t.Fatal("nanosecond deadline shed nothing under a 32-deep burst")
+	}
+	if s.Metrics().Shed.Load() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+}
+
+// TestSubmitAsyncOverlapsAndResolves: futures resolve to the same verdicts
+// the blocking path produces, and Wait is idempotent.
+func TestSubmitAsyncOverlapsAndResolves(t *testing.T) {
+	svc := testCore(t, core.Options{})
+	s, err := New(svc, Options{Workers: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := synth.SampleFrames(23, 10)
+	futs := make([]*Future, len(frames))
+	for i, f := range frames {
+		futs[i] = s.SubmitAsync(f)
+	}
+	for i, fut := range futs {
+		r1 := fut.Wait()
+		if r1.Status == StatusShed {
+			t.Fatalf("future %d shed with no load", i)
+		}
+		want := svc.Classify(frames[i])
+		if math.Abs(r1.Score-want) > 1e-6 {
+			t.Fatalf("future %d: %v != %v", i, r1.Score, want)
+		}
+		if r2 := fut.Wait(); r2 != r1 {
+			t.Fatalf("future %d: second Wait returned %+v, first %+v", i, r2, r1)
+		}
+	}
+	// a cache-hit future resolves immediately
+	if r := s.SubmitAsync(frames[0]).Wait(); r.Status != StatusCached {
+		t.Fatalf("repeat async status %v, want cached", r.Status)
+	}
+}
+
+// TestCloseDrainsAndSheds: Close resolves queued work, and submissions
+// after Close shed instead of panicking.
+func TestCloseDrainsAndSheds(t *testing.T) {
+	s, err := New(testCore(t, core.Options{}), Options{Workers: 1, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := synth.SampleFrames(29, 6)
+	futs := make([]*Future, len(frames))
+	for i, f := range frames {
+		futs[i] = s.SubmitAsync(f)
+	}
+	s.Close()
+	for i, fut := range futs {
+		if r := fut.Wait(); r.Status == StatusShed {
+			t.Fatalf("future %d shed by graceful close", i)
+		}
+	}
+	if r := s.Submit(frames[0]); r.Status != StatusShed {
+		t.Fatalf("post-close submit status %v, want shed", r.Status)
+	}
+	s.Close() // idempotent
+}
+
+// TestMetricsExposition sanity-checks the Prometheus rendering.
+func TestMetricsExposition(t *testing.T) {
+	s := testServer(t, core.Options{}, Options{Workers: 1})
+	s.Submit(synth.SampleFrames(31, 1)[0])
+	text := s.Metrics().Expose()
+	for _, want := range []string{
+		"percival_serve_submitted_total 1",
+		"percival_serve_classified_total 1",
+		"percival_serve_batches_total 1",
+		"percival_serve_latency_ms_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSteadyStateSubmitDoesNotAllocate is the zero-alloc gate for the
+// batcher hot path: after warmup, Submit (hash, queue, batch, classify,
+// resolve, cache insert — across all service goroutines) must not allocate.
+func TestSteadyStateSubmitDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := testServer(t, core.Options{}, Options{Workers: 1, MaxBatch: 4, Linger: time.Microsecond})
+	frames := synth.SampleFrames(37, 32)
+	for _, f := range frames { // warm: request pool, batch slices, arenas, cache
+		s.Submit(f)
+	}
+	s.ResetCache() // measure the full classify path, not the hit path
+	i := 0
+	allocs := testing.AllocsPerRun(len(frames)*4, func() {
+		s.Submit(frames[i%len(frames)])
+		i++
+	})
+	// AllocsPerRun counts mallocs process-wide, so GC-driven sync.Pool
+	// evictions can leak fractional allocations into the run; steady state
+	// must still average (well) under one allocation per submission.
+	if allocs >= 1 {
+		t.Fatalf("steady-state Submit allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestRaceStress is the -race stress test: many goroutines × many frames
+// with a mixed duplicate-heavy workload, concurrent metrics reads, a cache
+// reset mid-flight, and a graceful close racing the last submitters.
+func TestRaceStress(t *testing.T) {
+	s, err := New(testCore(t, core.Options{}), Options{
+		Workers: 4, MaxBatch: 4, Linger: 200 * time.Microsecond,
+		QueueDepth: 32, Deadline: time.Second, CacheSize: 64, CacheShards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := synth.SampleFrames(41, 12)
+	const goroutines = 16
+	perG := 40
+	if testing.Short() {
+		perG = 10
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				f := frames[(g*7+i)%len(frames)]
+				if g%3 == 0 {
+					fut := s.SubmitAsync(f)
+					fut.Wait()
+					fut.Wait()
+				} else {
+					s.Submit(f)
+				}
+				if i == perG/2 && g == 1 {
+					s.ResetCache()
+				}
+				if i%16 == 0 {
+					_ = s.Metrics().Expose()
+					_ = s.CacheLen()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	m := s.Metrics()
+	resolved := m.Classified.Load() + m.CacheHits.Load() + m.Coalesced.Load() + m.Shed.Load()
+	if resolved != m.Submitted.Load() {
+		t.Fatalf("accounting leak: %d resolved of %d submitted", resolved, m.Submitted.Load())
+	}
+}

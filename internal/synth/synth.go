@@ -163,6 +163,18 @@ func (g *Generator) Sample() (*imaging.Bitmap, int) {
 	return g.NonAd(), 0
 }
 
+// SampleFrames draws n balanced crawl-style frames from a fresh generator —
+// the common recipe for calibration sets, serving workloads, and test
+// fixtures that need deterministic representative creatives.
+func SampleFrames(seed int64, n int) []*imaging.Bitmap {
+	g := NewGenerator(seed, CrawlStyle())
+	frames := make([]*imaging.Bitmap, n)
+	for i := range frames {
+		frames[i], _ = g.Sample()
+	}
+	return frames
+}
+
 // adLike renders one of the ad templates.
 func (g *Generator) adLike() *imaging.Bitmap {
 	sz := AdSizes[g.rng.Intn(len(AdSizes))]
