@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/...
 
 # Native Go fuzzing smoke pass over the text parsers that face untrusted
 # input (EasyList rules, HTML). Each fuzzer runs for FUZZTIME; crashers are
@@ -38,11 +38,24 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dom
 
 # Headline benchmark snapshot: runs the perf-trajectory benchmarks (FP32 and
-# INT8 inference, serve-vs-sync throughput at concurrency 8, stem GEMMs,
-# resize, training epoch) plus the INT8 accuracy-parity comparison, and
-# writes BENCH_3.json.
+# INT8 inference, serve-vs-sync throughput and the shard-count sweep at
+# concurrency 8, stem GEMMs, resize, training epoch) plus the INT8
+# accuracy-parity comparison, and writes BENCH_4.json.
+#
+# BENCH_SMOKE=1 instead runs one iteration of every inference/serving
+# headline benchmark (both engines, all shard counts, the sync baselines,
+# a training epoch) plus the stem GEMM kernels, and compiles the snapshot
+# tool — the CI gate that catches harness breakage without paying for a
+# full trajectory run. Not covered at runtime: the eval parity experiment
+# (compile-only via the tool build).
 bench:
-	$(GO) run ./cmd/percival-bench -out BENCH_3.json
+ifdef BENCH_SMOKE
+	$(GO) test -run=NONE -bench='BenchmarkInfer|BenchmarkServe|BenchmarkSync|BenchmarkTrainingEpoch' -benchtime=1x .
+	$(GO) test -run=NONE -bench='BenchmarkGemm|BenchmarkQGemm' -benchtime=1x ./internal/tensor/
+	$(GO) build -o /dev/null ./cmd/percival-bench
+else
+	$(GO) run ./cmd/percival-bench -out BENCH_4.json
+endif
 
 # Full benchmark sweep (slow: regenerates every paper figure).
 bench-all:

@@ -137,6 +137,21 @@ func BenchmarkServeRotation8(b *testing.B) { benchsuite.ServeRotation8(b) }
 // BenchmarkServeRotation8Int8 is the INT8 rotation-workload benchmark.
 func BenchmarkServeRotation8Int8(b *testing.B) { benchsuite.ServeRotation8Int8(b) }
 
+// BenchmarkServeRotation8x2 is the rotation workload over 2 dispatch
+// shards (content-hash range partitions, per-shard backend replicas) with
+// the AIMD adaptive linger policy.
+func BenchmarkServeRotation8x2(b *testing.B) { benchsuite.ServeRotation8x2(b) }
+
+// BenchmarkServeRotation8x2Int8 is the INT8 2-shard rotation benchmark.
+func BenchmarkServeRotation8x2Int8(b *testing.B) { benchsuite.ServeRotation8x2Int8(b) }
+
+// BenchmarkServeRotation8x4 is the 4-shard rotation benchmark.
+func BenchmarkServeRotation8x4(b *testing.B) { benchsuite.ServeRotation8x4(b) }
+
+// BenchmarkServeSteady8x2 is the sharded steady-state benchmark and the
+// 0 allocs/op gate for the sharded dispatch hot path.
+func BenchmarkServeSteady8x2(b *testing.B) { benchsuite.ServeSteady8x2(b) }
+
 // BenchmarkSyncClassify8 is the baseline the serve layer is measured
 // against: the same rotation workload as synchronous single-frame Classify
 // calls from 8 concurrent goroutines.

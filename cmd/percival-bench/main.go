@@ -4,7 +4,7 @@
 // of the performance trajectory tracked across PRs (BENCH_<n>.json; see
 // PERFORMANCE.md).
 //
-//	percival-bench                     # writes BENCH_2.json
+//	percival-bench                     # writes BENCH_4.json
 //	percival-bench -out /tmp/b.json    # custom path
 //	percival-bench -skip-parity        # benchmarks only (no model training)
 package main
@@ -34,9 +34,18 @@ type BenchResult struct {
 	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
 }
 
+// ShardPoint is one point of the per-shard-count throughput trajectory on
+// the rotation workload (shards > 1 run the AIMD adaptive linger policy).
+type ShardPoint struct {
+	Shards  int     `json:"shards"`
+	FP32FPS float64 `json:"fp32_frames_per_sec"`
+	INT8FPS float64 `json:"int8_frames_per_sec,omitempty"`
+}
+
 // ServeResult summarizes the serving-throughput comparison: the
 // micro-batching service versus a synchronous single-frame Classify loop
-// on the same rotation workload at the same concurrency.
+// on the same rotation workload at the same concurrency, plus the
+// shard-count sweep.
 type ServeResult struct {
 	Concurrency int `json:"concurrency"`
 	// rotation workload (16 distinct creatives × concurrency sightings)
@@ -46,9 +55,14 @@ type ServeResult struct {
 	SyncINT8FPS  float64 `json:"sync_int8_frames_per_sec"`
 	SpeedupFP32  float64 `json:"speedup_fp32"`
 	SpeedupINT8  float64 `json:"speedup_int8"`
+	// ShardSweep records rotation throughput per dispatch-shard count.
+	ShardSweep []ShardPoint `json:"shard_sweep"`
 	// steady state (non-repeating frames, cache off): pure batching
 	SteadyFP32FPS     float64 `json:"steady_fp32_frames_per_sec"`
 	SteadyAllocsPerOp int64   `json:"steady_allocs_per_op"`
+	// sharded steady state (2 shards, adaptive policy, cache off)
+	ShardedSteadyFPS         float64 `json:"sharded_steady_frames_per_sec"`
+	ShardedSteadyAllocsPerOp int64   `json:"sharded_steady_allocs_per_op"`
 }
 
 // ParityResult records the INT8 accuracy-parity numbers from the synthetic
@@ -75,7 +89,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
 	skipParity := flag.Bool("skip-parity", false, "skip the INT8 accuracy-parity run (no model training)")
 	flag.Parse()
 
@@ -115,6 +129,15 @@ func main() {
 		SyncINT8FPS:       byName["SyncClassify8Int8"].FramesPerSec,
 		SteadyFP32FPS:     byName["ServeSteady8"].FramesPerSec,
 		SteadyAllocsPerOp: byName["ServeSteady8"].AllocsPerOp,
+		ShardSweep: []ShardPoint{
+			{Shards: 1, FP32FPS: byName["ServeRotation8"].FramesPerSec,
+				INT8FPS: byName["ServeRotation8Int8"].FramesPerSec},
+			{Shards: 2, FP32FPS: byName["ServeRotation8x2"].FramesPerSec,
+				INT8FPS: byName["ServeRotation8x2Int8"].FramesPerSec},
+			{Shards: 4, FP32FPS: byName["ServeRotation8x4"].FramesPerSec},
+		},
+		ShardedSteadyFPS:         byName["ServeSteady8x2"].FramesPerSec,
+		ShardedSteadyAllocsPerOp: byName["ServeSteady8x2"].AllocsPerOp,
 	}
 	if snap.Serve.SyncFP32FPS > 0 {
 		snap.Serve.SpeedupFP32 = snap.Serve.ServeFP32FPS / snap.Serve.SyncFP32FPS
@@ -179,8 +202,12 @@ func headlineBenchmarks() []namedBench {
 		{"InferBatch8Int8", benchsuite.InferBatchInt8},
 		{"ServeSteady8", benchsuite.ServeSteady8},
 		{"ServeSteady8Int8", benchsuite.ServeSteady8Int8},
+		{"ServeSteady8x2", benchsuite.ServeSteady8x2},
 		{"ServeRotation8", benchsuite.ServeRotation8},
 		{"ServeRotation8Int8", benchsuite.ServeRotation8Int8},
+		{"ServeRotation8x2", benchsuite.ServeRotation8x2},
+		{"ServeRotation8x2Int8", benchsuite.ServeRotation8x2Int8},
+		{"ServeRotation8x4", benchsuite.ServeRotation8x4},
 		{"SyncClassify8", benchsuite.SyncClassify8},
 		{"SyncClassify8Int8", benchsuite.SyncClassify8Int8},
 		{"Gemm96x196x12544", benchsuite.GemmStem},

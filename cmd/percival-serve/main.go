@@ -1,21 +1,25 @@
 // Command percival-serve runs PERCIVAL as a standalone classification
-// daemon: an HTTP front end over the internal/serve micro-batching service,
-// turning many concurrent single-frame requests into batched forward
-// passes on the FP32 or INT8 engine.
+// daemon: an HTTP front end over the internal/serve sharded micro-batching
+// service, turning many concurrent single-frame requests into batched
+// forward passes on the FP32 or INT8 engine.
 //
 //	POST /classify   body = PNG/JPEG/GIF (or raw RGBA with ?w=&h= and
 //	                 Content-Type: application/octet-stream)
 //	                 -> {"score":0.93,"ad":true,"status":"classified"}
-//	GET  /healthz    liveness + model/engine info
+//	GET  /healthz    liveness + model/engine/shard info
 //	GET  /metrics    Prometheus text exposition (serve counters/histograms)
 //
 //	percival-serve                        # train a reduced-scale model, serve on :8093
 //	percival-serve -res 224 -int8         # paper-scale INT8 engine
+//	percival-serve -shards 4 -adaptive    # sharded dispatch, AIMD linger
+//	percival-serve -backend fp32 -int8    # quantize, but pin serving to FP32
+//	percival-serve -cache-file v.pcvc     # verdict cache survives restarts
 //	percival-serve -model m.pcvl -res 32  # serve saved weights
 //	percival-serve -pretrained            # deterministic untrained weights (smoke)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +33,7 @@ import (
 
 	"percival"
 	"percival/internal/core"
+	"percival/internal/engine"
 	"percival/internal/imaging"
 	"percival/internal/nn"
 	"percival/internal/serve"
@@ -38,21 +43,25 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8093", "listen address")
-		res        = flag.Int("res", 32, "classifier input resolution (224 = paper scale)")
-		modelPath  = flag.String("model", "", "serve saved PCVL weights instead of training")
-		pretrained = flag.Bool("pretrained", false, "deterministic untrained weights (no training; smoke/bench)")
-		samples    = flag.Int("samples", 700, "training samples when training")
-		epochs     = flag.Int("epochs", 8, "training epochs when training")
-		seed       = flag.Int64("seed", 1, "seed for training/calibration data")
-		threshold  = flag.Float64("threshold", 0.5, "ad-probability blocking threshold")
-		int8Flag   = flag.Bool("int8", false, "quantize and serve the INT8 engine (parity-gated)")
-		workers    = flag.Int("workers", 0, "dispatch workers (0 = GOMAXPROCS)")
-		maxBatch   = flag.Int("batch", 16, "max frames per forward pass")
-		linger     = flag.Duration("linger", 2*time.Millisecond, "batch linger budget")
-		queue      = flag.Int("queue", 0, "submit queue depth (0 = default)")
-		deadline   = flag.Duration("deadline", 500*time.Millisecond, "load-shed deadline (0 disables)")
-		cacheSize  = flag.Int("cache", 4096, "verdict cache entries (0 = default)")
+		addr        = flag.String("addr", ":8093", "listen address")
+		res         = flag.Int("res", 32, "classifier input resolution (224 = paper scale)")
+		modelPath   = flag.String("model", "", "serve saved PCVL weights instead of training")
+		pretrained  = flag.Bool("pretrained", false, "deterministic untrained weights (no training; smoke/bench)")
+		samples     = flag.Int("samples", 700, "training samples when training")
+		epochs      = flag.Int("epochs", 8, "training epochs when training")
+		seed        = flag.Int64("seed", 1, "seed for training/calibration data")
+		threshold   = flag.Float64("threshold", 0.5, "ad-probability blocking threshold")
+		int8Flag    = flag.Bool("int8", false, "quantize and serve the INT8 engine (parity-gated)")
+		backendName = flag.String("backend", "auto", "serving backend: fp32, int8, or auto (the parity-gated default)")
+		shards      = flag.Int("shards", 1, "dispatch shards (content-hash range partitions, each with its own batcher and backend replica)")
+		adaptive    = flag.Bool("adaptive", false, "adapt the batch linger with the AIMD policy instead of the fixed -linger")
+		workers     = flag.Int("workers", 0, "dispatch workers across all shards (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("batch", 16, "max frames per forward pass")
+		linger      = flag.Duration("linger", 2*time.Millisecond, "batch linger budget (fixed policy)")
+		queue       = flag.Int("queue", 0, "submit queue depth (0 = default)")
+		deadline    = flag.Duration("deadline", 500*time.Millisecond, "load-shed deadline (0 disables)")
+		cacheSize   = flag.Int("cache", 4096, "verdict cache entries (0 = default)")
+		cacheFile   = flag.String("cache-file", "", "verdict-cache snapshot path: loaded at startup, saved on shutdown")
 	)
 	flag.Parse()
 
@@ -60,28 +69,44 @@ func main() {
 	if err != nil {
 		log.Fatal("percival-serve: ", err)
 	}
-	engine := "fp32"
-	if svc.QuantizedActive() {
-		engine = "int8"
+	backend, err := pickBackend(svc, *backendName)
+	if err != nil {
+		log.Fatal("percival-serve: ", err)
 	}
 	log.Printf("model ready: res=%d engine=%s (parity %.3f), %d KB weights",
-		svc.InputRes(), engine, svc.ParityAgreement(), svc.ModelSizeBytes()/1024)
+		svc.InputRes(), backend.Name(), svc.ParityAgreement(), svc.ModelSizeBytes()/1024)
 
-	srv, err := serve.New(svc, serve.Options{
+	opts := serve.Options{
 		MaxBatch:   *maxBatch,
 		Linger:     *linger,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Deadline:   *deadline,
 		CacheSize:  *cacheSize,
-	})
+		Shards:     *shards,
+		Backend:    backend,
+	}
+	if *adaptive {
+		opts.Policy = serve.NewAIMDPolicy()
+	}
+	srv, err := serve.New(svc, opts)
 	if err != nil {
 		log.Fatal("percival-serve: ", err)
+	}
+	// pre-touch every shard replica's arena state so the first client
+	// burst classifies without allocating
+	srv.Warm()
+	if *cacheFile != "" {
+		if n, err := loadCache(srv, *cacheFile); err != nil {
+			log.Printf("cache restore %s: %v (serving cold)", *cacheFile, err)
+		} else if n > 0 {
+			log.Printf("restored %d cached verdicts from %s", n, *cacheFile)
+		}
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", classifyHandler(srv))
-	mux.HandleFunc("GET /healthz", healthHandler(srv, engine))
+	mux.HandleFunc("GET /healthz", healthHandler(srv, backend.Name()))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		io.WriteString(w, srv.Metrics().Expose())
@@ -94,15 +119,79 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down")
-		httpSrv.Close()
+		log.Print("shutting down: draining in-flight requests")
+		// Graceful drain, not drop: finish in-flight HTTP requests, then
+		// close the serve layer (which flushes open linger batches and
+		// resolves every queued future) before snapshotting the cache.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		cancel()
 		srv.Close()
+		if *cacheFile != "" {
+			if n, err := saveCache(srv, *cacheFile); err != nil {
+				log.Printf("cache snapshot %s: %v", *cacheFile, err)
+			} else {
+				log.Printf("saved %d cached verdicts to %s", n, *cacheFile)
+			}
+		}
 	}()
-	log.Printf("serving on %s (batch<=%d linger=%v deadline=%v)", *addr, *maxBatch, *linger, *deadline)
+	mode := "fixed"
+	if *adaptive {
+		mode = "adaptive"
+	}
+	log.Printf("serving on %s (shards=%d batch<=%d linger=%s/%v deadline=%v)",
+		*addr, srv.Shards(), *maxBatch, mode, *linger, *deadline)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal("percival-serve: ", err)
 	}
 	<-done
+}
+
+// pickBackend resolves the -backend flag against the classifier's registry:
+// "auto" takes the parity-gated default; a named engine must exist.
+func pickBackend(svc *core.Percival, name string) (engine.Backend, error) {
+	if name == "" || name == "auto" {
+		return svc.Engine(), nil
+	}
+	b, ok := svc.Backends().Get(name)
+	if !ok {
+		return nil, fmt.Errorf("backend %q not available (have %v)", name, svc.Backends().Names())
+	}
+	return b, nil
+}
+
+// loadCache restores the verdict cache from a snapshot file, tolerating a
+// missing file (first run).
+func loadCache(srv *serve.Server, path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return srv.RestoreCache(f)
+}
+
+// saveCache snapshots the verdict cache atomically (write temp, rename).
+func saveCache(srv *serve.Server, path string) (int, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := srv.SnapshotCache(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, path)
 }
 
 // buildService assembles the core classifier from flags: saved weights, a
@@ -210,10 +299,11 @@ func decodeFrame(r *http.Request, body []byte) (*imaging.Bitmap, error) {
 }
 
 // healthHandler reports liveness and engine configuration.
-func healthHandler(srv *serve.Server, engine string) http.HandlerFunc {
+func healthHandler(srv *serve.Server, engineName string) http.HandlerFunc {
 	type health struct {
 		OK        bool    `json:"ok"`
 		Engine    string  `json:"engine"`
+		Shards    int     `json:"shards"`
 		InputRes  int     `json:"input_res"`
 		Threshold float64 `json:"threshold"`
 		CacheLen  int     `json:"cache_len"`
@@ -225,7 +315,8 @@ func healthHandler(srv *serve.Server, engine string) http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(health{
 			OK:        true,
-			Engine:    engine,
+			Engine:    engineName,
+			Shards:    srv.Shards(),
 			InputRes:  srv.Service().InputRes(),
 			Threshold: srv.Service().Threshold(),
 			CacheLen:  srv.CacheLen(),

@@ -33,15 +33,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Two dispatch shards, each with its own coalescing batcher and backend
+	// replica, partitioned by content-hash range; the AIMD policy adapts the
+	// batch linger to the live latency histogram instead of a fixed 2ms.
 	srv, err := serve.New(svc, serve.Options{
 		MaxBatch: 16,
-		Linger:   2 * time.Millisecond,
+		Shards:   2,
+		Policy:   serve.NewAIMDPolicy(),
 		Deadline: time.Second,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Warm()
 
 	// The workload: 32 distinct creatives, each sighted 4 times across the
 	// client population — ad creatives repeat, which is exactly what the
@@ -90,4 +95,8 @@ func main() {
 	fmt.Printf("  blocked      %d of %d\n", blocked, total)
 	fmt.Printf("  p50 latency  %.2f ms, p99 %.2f ms (model-scored frames)\n",
 		m.LatencyMS.Quantile(0.5), m.LatencyMS.Quantile(0.99))
+	for i, st := range srv.BackendStats() {
+		fmt.Printf("  shard %d      %d frames in %d forward passes (%s replica)\n",
+			i, st.Frames, st.Batches, svc.Engine().Name())
+	}
 }

@@ -57,13 +57,6 @@ func reportFPS(b *testing.B, frames int64) {
 func serveSteady(b *testing.B, quantized bool) {
 	svc := PaperService(quantized)
 	frames := synth.SampleFrames(17, 64)
-	// Deterministically warm the pooled inference state across every batch
-	// fill the coalescer can produce: the arena free-lists are exact-size,
-	// so a batch size first seen inside the timed loop would allocate.
-	scores := make([]float64, 16)
-	for n := 1; n <= 16; n++ {
-		svc.ClassifyBatchInto(frames[:n], scores[:n])
-	}
 	srv, err := serve.New(svc, serve.Options{
 		MaxBatch:     16,
 		Linger:       2 * time.Millisecond,
@@ -73,6 +66,11 @@ func serveSteady(b *testing.B, quantized bool) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
+	// Deterministically warm each shard replica's inference state across
+	// every batch fill the coalescer can produce: the arena free-lists are
+	// exact-size, so a batch size first seen inside the timed loop would
+	// allocate.
+	srv.Warm()
 	// warm the request/batch pools through the batcher itself
 	var wg sync.WaitGroup
 	for c := 0; c < ServeConcurrency; c++ {
@@ -119,16 +117,25 @@ func ServeSteady8Int8(b *testing.B) { serveSteady(b, true) }
 // concurrent client sights the same window of distinct creatives, and each
 // window starts cold (ResetCache), so exactly one model run per distinct
 // creative is amortized over ServeConcurrency sightings via the sharded
-// cache and in-flight coalescing.
-func serveRotation(b *testing.B, quantized bool) {
-	srv, err := serve.New(PaperService(quantized), serve.Options{
+// cache and in-flight coalescing. shards > 1 partitions dispatch by
+// content-hash range (each shard with its own batcher and backend replica)
+// and runs the AIMD adaptive linger policy — the per-shard-count points of
+// the throughput trajectory.
+func serveRotation(b *testing.B, shards int, quantized bool) {
+	opts := serve.Options{
 		MaxBatch: 16,
 		Linger:   2 * time.Millisecond,
-	})
+		Shards:   shards,
+	}
+	if shards > 1 {
+		opts.Policy = serve.NewAIMDPolicy()
+	}
+	srv, err := serve.New(PaperService(quantized), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Warm()
 	frames := synth.SampleFrames(19, serveRotationDistinct)
 	runWindow := func() {
 		var wg sync.WaitGroup
@@ -153,11 +160,72 @@ func serveRotation(b *testing.B, quantized bool) {
 	reportFPS(b, int64(b.N)*ServeConcurrency*serveRotationDistinct)
 }
 
-// ServeRotation8 is the FP32 rotation-workload serving benchmark.
-func ServeRotation8(b *testing.B) { serveRotation(b, false) }
+// ServeRotation8 is the FP32 rotation-workload serving benchmark
+// (single shard, fixed linger — the PR-3 anchor configuration).
+func ServeRotation8(b *testing.B) { serveRotation(b, 1, false) }
 
 // ServeRotation8Int8 is the INT8 rotation-workload serving benchmark.
-func ServeRotation8Int8(b *testing.B) { serveRotation(b, true) }
+func ServeRotation8Int8(b *testing.B) { serveRotation(b, 1, true) }
+
+// ServeRotation8x2 is the FP32 rotation workload over 2 dispatch shards
+// with the AIMD adaptive linger policy.
+func ServeRotation8x2(b *testing.B) { serveRotation(b, 2, false) }
+
+// ServeRotation8x2Int8 is the INT8 rotation workload over 2 dispatch
+// shards with the adaptive policy.
+func ServeRotation8x2Int8(b *testing.B) { serveRotation(b, 2, true) }
+
+// ServeRotation8x4 is the FP32 rotation workload over 4 dispatch shards
+// with the adaptive policy.
+func ServeRotation8x4(b *testing.B) { serveRotation(b, 4, false) }
+
+// ServeSteady8x2 is the sharded steady-state benchmark: 2 shards, AIMD
+// policy, memoization off — the 0 allocs/op gate for the sharded dispatch
+// hot path.
+func ServeSteady8x2(b *testing.B) {
+	svc := PaperService(false)
+	frames := synth.SampleFrames(17, 64)
+	srv, err := serve.New(svc, serve.Options{
+		MaxBatch:     16,
+		Shards:       2,
+		Policy:       serve.NewAIMDPolicy(),
+		DisableCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Warm()
+	var wg sync.WaitGroup
+	for c := 0; c < ServeConcurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				srv.Submit(frames[(c*8+i)%len(frames)])
+			}
+		}(c)
+	}
+	wg.Wait()
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bwg sync.WaitGroup
+	for c := 0; c < ServeConcurrency; c++ {
+		bwg.Add(1)
+		go func(c int) {
+			defer bwg.Done()
+			set := frames[c*8 : c*8+8]
+			for i := 0; remaining.Add(-1) >= 0; i++ {
+				srv.Submit(set[i%len(set)])
+			}
+		}(c)
+	}
+	bwg.Wait()
+	b.StopTimer()
+	reportFPS(b, int64(b.N))
+}
 
 // syncLoop is the baseline the serve layer is measured against: the same
 // rotation workload, but every sighting is a synchronous single-frame

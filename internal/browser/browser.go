@@ -53,11 +53,14 @@ type Config struct {
 	// Inspector is PERCIVAL's hook; nil renders the baseline.
 	Inspector raster.FrameInspector
 	// AsyncServe selects the asynchronous inspection mode: every image is
-	// submitted to the micro-batching classification service the moment its
-	// pixels are materialized — before layout — so classification runs
-	// concurrently with layout and rasterization, and the raster-time
-	// inspector merely resolves the in-flight verdict. Shed verdicts fail
-	// open (the frame renders). Mutually exclusive with Inspector.
+	// submitted to the (possibly sharded) micro-batching classification
+	// service the moment its pixels are materialized — before layout — so
+	// classification runs concurrently with layout and rasterization, and
+	// the raster-time inspector merely resolves the in-flight verdict.
+	// Deployment shape (shard count, backend selection, adaptive batching)
+	// is the server's own serve.Options; the browser is agnostic to it.
+	// Shed verdicts fail open (the frame renders). Mutually exclusive with
+	// Inspector.
 	AsyncServe *serve.Server
 	// RasterWorkers sizes the raster thread pool (default 4, Chromium's
 	// desktop default).

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"percival/internal/engine"
 	"percival/internal/imaging"
 	"percival/internal/nn"
 	"percival/internal/squeezenet"
@@ -77,18 +78,24 @@ type Percival struct {
 	cfg  squeezenet.Config
 	opts Options
 
-	// qnet is the INT8 engine; non-nil only when Options.Quantized was set
-	// and the accuracy-parity gate passed. parityAgreement records the
-	// measured FP32-vs-INT8 top-1 agreement either way.
-	qnet            *nn.QuantizedSequential
+	// backends is the registry of named inference engines. "fp32" is always
+	// registered; "int8" joins it when Options.Quantized was set, and becomes
+	// the default only when the accuracy-parity gate passed — engine choice
+	// is registry policy, not inline branching on the classify paths.
+	backends *engine.Registry
+	// active is the default backend every classify path routes through.
+	active engine.Backend
+	// parityAgreement records the measured FP32-vs-INT8 top-1 agreement when
+	// quantization was requested (whether or not the gate passed).
 	parityAgreement float64
 
 	cache *verdictCache
 
-	// states recycles warm per-goroutine inference state (arena + scaled
-	// frame buffer) across frames, so steady-state classification performs
-	// no heap allocation. One state is checked out per concurrent Classify.
-	states sync.Pool
+	// single recycles the one-frame scratch (frames+scores slices) Classify
+	// wraps around the batched backend entry point, keeping the single-frame
+	// path zero-alloc; the warm per-goroutine inference state itself lives
+	// inside each engine.Backend.
+	single sync.Pool
 
 	// async bookkeeping
 	pending sync.WaitGroup
@@ -119,22 +126,29 @@ func New(net *nn.Sequential, cfg squeezenet.Config, opts Options) (*Percival, er
 		opts.MinFrameEdge = 20
 	}
 	p := &Percival{
-		net:   net,
-		cfg:   cfg,
-		opts:  opts,
-		cache: newVerdictCache(opts.CacheSize),
+		net:      net,
+		cfg:      cfg,
+		opts:     opts,
+		backends: engine.NewRegistry(),
+		cache:    newVerdictCache(opts.CacheSize),
+	}
+	if err := p.backends.Register(engine.FP32Name, engine.NewFP32(net, cfg.InputRes)); err != nil {
+		return nil, err
 	}
 	if opts.Quantized {
 		if err := p.enableQuantized(); err != nil {
 			return nil, err
 		}
 	}
+	p.active = p.backends.Default()
 	return p, nil
 }
 
-// enableQuantized quantizes the model on the calibration frames and runs the
-// accuracy-parity gate: the INT8 engine activates only if its top-1 verdicts
-// agree with FP32 on at least ParityMinAgreement of the frames.
+// enableQuantized quantizes the model on the calibration frames, registers
+// the INT8 backend, and runs the accuracy-parity gate: INT8 becomes the
+// registry default only if its top-1 verdicts agree with FP32 on at least
+// ParityMinAgreement of the frames; otherwise it stays registered (callers
+// may still select it by name) while FP32 keeps the default slot.
 func (p *Percival) enableQuantized() error {
 	if len(p.opts.CalibFrames) == 0 {
 		return fmt.Errorf("core: quantized mode requires calibration frames")
@@ -152,6 +166,10 @@ func (p *Percival) enableQuantized() error {
 	if err != nil {
 		return fmt.Errorf("core: quantize: %w", err)
 	}
+	int8be := engine.NewInt8(qnet, res)
+	if err := p.backends.Register(engine.Int8Name, int8be); err != nil {
+		return err
+	}
 	// Margin-filtered agreement on the service's own decision function:
 	// verdicts are compared at the configured Threshold, and frames FP32
 	// itself scores within parityMargin of that boundary are excluded —
@@ -159,38 +177,37 @@ func (p *Percival) enableQuantized() error {
 	// quantization fidelity. If every frame is borderline there is nothing
 	// to distinguish and the engines are considered in parity.
 	const parityMargin = 0.05
+	fp32be := p.backends.Select(engine.FP32Name)
+	fpScores := fp32be.InferBatchInto(p.opts.CalibFrames, make([]float64, len(p.opts.CalibFrames)))
+	qScores := int8be.InferBatchInto(p.opts.CalibFrames, make([]float64, len(p.opts.CalibFrames)))
 	agree, counted := 0, 0
-	a := tensor.GetArena()
-	for _, x := range tensors {
-		pf := nn.PredictArena(p.net, x, a)
-		fpScore := float64(pf.Data[1])
-		a.PutTensor(pf)
-		pq := qnet.PredictArena(x, a)
-		qScore := float64(pq.Data[1])
-		a.PutTensor(pq)
+	for i, fpScore := range fpScores {
 		if math.Abs(fpScore-p.opts.Threshold) < parityMargin {
 			continue
 		}
 		counted++
-		if (fpScore >= p.opts.Threshold) == (qScore >= p.opts.Threshold) {
+		if (fpScore >= p.opts.Threshold) == (qScores[i] >= p.opts.Threshold) {
 			agree++
 		}
 	}
-	tensor.PutArena(a)
 	if counted == 0 {
 		p.parityAgreement = 1
 	} else {
 		p.parityAgreement = float64(agree) / float64(counted)
 	}
 	if p.parityAgreement >= minAgree {
-		p.qnet = qnet
+		if err := p.backends.SetDefault(engine.Int8Name); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // QuantizedActive reports whether inference runs on the INT8 engine (the
-// parity gate passed).
-func (p *Percival) QuantizedActive() bool { return p.qnet != nil }
+// parity gate passed and made it the default backend).
+func (p *Percival) QuantizedActive() bool {
+	return p.backends.DefaultName() == engine.Int8Name
+}
 
 // ParityAgreement returns the measured FP32-vs-INT8 top-1 agreement on the
 // calibration frames (0 when quantization was not requested).
@@ -199,72 +216,56 @@ func (p *Percival) ParityAgreement() float64 { return p.parityAgreement }
 // QuantizedModelSizeBytes returns the INT8 weight footprint, or 0 when the
 // quantized engine is inactive.
 func (p *Percival) QuantizedModelSizeBytes() int {
-	if p.qnet == nil {
+	if !p.QuantizedActive() {
 		return 0
 	}
-	return p.qnet.SizeBytes()
-}
-
-// predictArena routes one pre-processed input batch through the active
-// engine (INT8 when the parity gate passed, FP32 otherwise).
-func (p *Percival) predictArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
-	if p.qnet != nil {
-		return p.qnet.PredictArena(x, a)
+	if b, ok := p.backends.Get(engine.Int8Name); ok {
+		return b.(*engine.Int8Backend).SizeBytes()
 	}
-	return nn.PredictArena(p.net, x, a)
+	return 0
 }
 
-// inferState bundles the reusable per-goroutine inference resources: a warm
-// tensor arena holding every buffer one forward pass needs, plus the scaled
-// bitmap the pre-processing writes into.
-type inferState struct {
-	arena  *tensor.Arena
-	scaled *imaging.Bitmap
+// Engine returns the active (default) inference backend — the seam serve
+// dispatch replicates per shard.
+func (p *Percival) Engine() engine.Backend { return p.active }
+
+// Backends exposes the named-backend registry for selection policy
+// (serving flags, multi-model routing).
+func (p *Percival) Backends() *engine.Registry { return p.backends }
+
+// singleScratch is the pooled one-frame view Classify wraps around the
+// batched backend entry point.
+type singleScratch struct {
+	frames [1]*imaging.Bitmap
+	out    [1]float64
 }
 
-func (p *Percival) getState() *inferState {
-	if st, ok := p.states.Get().(*inferState); ok {
-		return st
+func (p *Percival) getSingle() *singleScratch {
+	if sc, ok := p.single.Get().(*singleScratch); ok {
+		return sc
 	}
-	return &inferState{
-		arena:  tensor.GetArena(),
-		scaled: imaging.NewBitmap(p.cfg.InputRes, p.cfg.InputRes),
-	}
+	return &singleScratch{}
 }
 
-func (p *Percival) putState(st *inferState) { p.states.Put(st) }
-
-// Classify runs the model on a decoded frame and returns the ad
+// Classify runs the active backend on a decoded frame and returns the ad
 // probability. Safe for concurrent use; steady-state calls allocate nothing
-// (pre-processing, intermediates, and probabilities all come from a warm
-// arena kept across frames).
+// (the backend's warm per-goroutine arena state plus a pooled one-frame
+// scratch).
 func (p *Percival) Classify(frame *imaging.Bitmap) float64 {
 	start := time.Now()
-	st := p.getState()
-	res := p.cfg.InputRes
-	imaging.ResizeBilinearInto(frame, st.scaled)
-	x := st.arena.GetTensor(1, 4, res, res)
-	imaging.ToTensorInto(st.scaled, x.Data)
-	probs := p.predictArena(x, st.arena)
-	score := float64(probs.Data[1]) // class 1 = ad
-	st.arena.PutTensor(probs)
-	st.arena.PutTensor(x)
-	p.putState(st)
+	sc := p.getSingle()
+	sc.frames[0] = frame
+	p.active.InferBatchInto(sc.frames[:1], sc.out[:1])
+	score := sc.out[0]
+	sc.frames[0] = nil
+	p.single.Put(sc)
 	p.classified.Add(1)
 	p.totalNanos.Add(time.Since(start).Nanoseconds())
 	return score
 }
 
-// classifyBatchChunk caps the frames per forward pass in ClassifyBatch.
-// Activation buffers scale with batch size and the warm arena retains its
-// high-water mark, so an unbounded batch (a 100-image search page at paper
-// resolution) would pin hundreds of MB; chunking keeps the pre-processing
-// amortization while bounding the arena to a fixed footprint.
-const classifyBatchChunk = 16
-
-// ClassifyBatch scores a set of frames in chunked batched forward passes,
-// amortizing pre-processing through the same warm arena and scaled-frame
-// buffer that Classify uses.
+// ClassifyBatch scores a set of frames in chunked batched forward passes
+// through the active backend.
 func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
 	if len(frames) == 0 {
 		return nil
@@ -273,38 +274,15 @@ func (p *Percival) ClassifyBatch(frames []*imaging.Bitmap) []float64 {
 }
 
 // ClassifyBatchInto is ClassifyBatch writing scores into a caller-provided
-// slice (len(out) >= len(frames)), so steady-state batched callers — the
-// serve batcher's dispatch workers — allocate nothing. Returns
-// out[:len(frames)].
+// slice (len(out) >= len(frames)), so steady-state batched callers allocate
+// nothing. Chunking (16 frames per forward pass) lives in the backend.
+// Returns out[:len(frames)].
 func (p *Percival) ClassifyBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
 	if len(frames) == 0 {
 		return out[:0]
 	}
 	start := time.Now()
-	st := p.getState()
-	res := p.cfg.InputRes
-	per := 4 * res * res
-	out = out[:len(frames)]
-	for lo := 0; lo < len(frames); lo += classifyBatchChunk {
-		hi := lo + classifyBatchChunk
-		if hi > len(frames) {
-			hi = len(frames)
-		}
-		chunk := frames[lo:hi]
-		x := st.arena.GetTensor(len(chunk), 4, res, res)
-		for i, f := range chunk {
-			imaging.ResizeBilinearInto(f, st.scaled)
-			imaging.ToTensorInto(st.scaled, x.Data[i*per:(i+1)*per])
-		}
-		probs := p.predictArena(x, st.arena)
-		k := probs.Shape[1]
-		for i := range chunk {
-			out[lo+i] = float64(probs.Data[i*k+1])
-		}
-		st.arena.PutTensor(probs)
-		st.arena.PutTensor(x)
-	}
-	p.putState(st)
+	out = p.active.InferBatchInto(frames, out)
 	p.classified.Add(int64(len(frames)))
 	p.totalNanos.Add(time.Since(start).Nanoseconds())
 	return out

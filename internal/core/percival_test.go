@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"percival/internal/dataset"
+	"percival/internal/engine"
 	"percival/internal/imaging"
 	"percival/internal/squeezenet"
 	"percival/internal/synth"
@@ -323,7 +324,7 @@ func TestClassifyConcurrentConsistent(t *testing.T) {
 func TestClassifyBatchChunking(t *testing.T) {
 	p := testService(t, Options{})
 	g := synth.NewGenerator(9, synth.CrawlStyle())
-	frames := make([]*imaging.Bitmap, 2*classifyBatchChunk+3)
+	frames := make([]*imaging.Bitmap, 2*engine.BatchChunk+3)
 	for i := range frames {
 		frames[i], _ = g.Sample()
 	}
@@ -331,7 +332,7 @@ func TestClassifyBatchChunking(t *testing.T) {
 	if len(batch) != len(frames) {
 		t.Fatalf("got %d scores for %d frames", len(batch), len(frames))
 	}
-	for _, i := range []int{0, classifyBatchChunk - 1, classifyBatchChunk, len(frames) - 1} {
+	for _, i := range []int{0, engine.BatchChunk - 1, engine.BatchChunk, len(frames) - 1} {
 		single := p.Classify(frames[i])
 		if diff := batch[i] - single; diff > 1e-4 || diff < -1e-4 {
 			t.Fatalf("frame %d: batch %v single %v", i, batch[i], single)

@@ -1,0 +1,183 @@
+// Package engine defines the pluggable inference-backend layer: a Backend
+// is one way of turning decoded frames into ad scores (the FP32 arena path,
+// the INT8 quantized path, and — behind the same seam — any future remote
+// or experimental engine), and a Registry names the backends a service
+// knows about so engine selection becomes policy instead of inline
+// branching.
+//
+// Before this layer existed the FP32 and INT8 paths were hard-wired twin
+// code paths inside core.Percival (predictArena vs qnet, duplicated across
+// Classify/ClassifyBatch/ClassifyBatchInto), and internal/serve could only
+// dispatch to the single core.Percival it was constructed with. Backends
+// pull that branching out: each backend owns its warm per-goroutine
+// inference state (tensor arena + scaled-frame buffer), so a serve shard
+// can hold its own replica and never contend with its neighbours for arena
+// buffers.
+//
+// Arena-ownership rule: one Backend value owns one state pool. Replicate
+// shares the (read-only) weights but starts a fresh pool, which is what a
+// dispatch shard wants; Close drains the pool back to the global arena
+// free-list.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"percival/internal/imaging"
+	"percival/internal/tensor"
+)
+
+// BatchChunk caps the frames per forward pass. Activation buffers scale
+// with batch size and the warm arena retains its high-water mark, so an
+// unbounded batch (a 100-image search page at paper resolution) would pin
+// hundreds of MB; chunking keeps the pre-processing amortization while
+// bounding the arena to a fixed footprint.
+const BatchChunk = 16
+
+// Stats are a backend's dispatch counters, readable while it serves.
+type Stats struct {
+	// Batches counts forward passes (chunks, not caller-level batches).
+	Batches int64
+	// Frames counts frames scored.
+	Frames int64
+}
+
+// Backend is one inference engine: pre-processing, forward pass, and the
+// warm per-goroutine state both need. Implementations are safe for
+// concurrent use; a steady-state InferBatchInto performs no heap
+// allocation once the state pool is warm (see Warm).
+type Backend interface {
+	// Name identifies the engine ("fp32", "int8") for registries, logs and
+	// health endpoints.
+	Name() string
+	// InputRes is the network input resolution frames are scaled to.
+	InputRes() int
+	// InferBatchInto scores frames into out (len(out) >= len(frames)) and
+	// returns out[:len(frames)]. Scores are the ad-class probability.
+	InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64
+	// Replicate returns a backend sharing this backend's weights but owning
+	// a fresh warm-state pool — the per-shard replica serve dispatch wants.
+	Replicate() Backend
+	// Warm pre-touches the state pool for every chunk size a batch of up to
+	// maxBatch frames can produce, so the first real dispatch allocates
+	// nothing.
+	Warm(maxBatch int)
+	// Close drains the warm-state pool back to the global arena free-list.
+	// The backend must not be used after Close.
+	Close()
+	// Stats returns the dispatch counters.
+	Stats() Stats
+}
+
+// inferState bundles the reusable per-goroutine inference resources: a warm
+// tensor arena holding every buffer one forward pass needs, plus the scaled
+// bitmap the pre-processing writes into.
+type inferState struct {
+	arena  *tensor.Arena
+	scaled *imaging.Bitmap
+}
+
+// predictFn runs one forward pass over a pre-processed input batch using
+// arena-backed buffers; it is the only point where FP32 and INT8 differ.
+type predictFn func(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor
+
+// base carries the engine-independent machinery: state pool, chunked
+// pre-processing loop, and stats. Concrete backends embed it and supply
+// predict.
+type base struct {
+	name    string
+	res     int
+	predict predictFn
+
+	states  sync.Pool
+	batches atomic.Int64
+	frames  atomic.Int64
+}
+
+func (b *base) Name() string  { return b.name }
+func (b *base) InputRes() int { return b.res }
+
+func (b *base) Stats() Stats {
+	return Stats{Batches: b.batches.Load(), Frames: b.frames.Load()}
+}
+
+func (b *base) getState() *inferState {
+	if st, ok := b.states.Get().(*inferState); ok {
+		return st
+	}
+	return &inferState{
+		arena:  tensor.GetArena(),
+		scaled: imaging.NewBitmap(b.res, b.res),
+	}
+}
+
+func (b *base) putState(st *inferState) { b.states.Put(st) }
+
+// InferBatchInto scores frames in chunked forward passes, amortizing
+// pre-processing through the warm arena and scaled-frame buffer.
+func (b *base) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	if len(frames) == 0 {
+		return out[:0]
+	}
+	st := b.getState()
+	res := b.res
+	per := 4 * res * res
+	out = out[:len(frames)]
+	for lo := 0; lo < len(frames); lo += BatchChunk {
+		hi := lo + BatchChunk
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		chunk := frames[lo:hi]
+		x := st.arena.GetTensor(len(chunk), 4, res, res)
+		for i, f := range chunk {
+			imaging.ResizeBilinearInto(f, st.scaled)
+			imaging.ToTensorInto(st.scaled, x.Data[i*per:(i+1)*per])
+		}
+		probs := b.predict(x, st.arena)
+		k := probs.Shape[1]
+		for i := range chunk {
+			out[lo+i] = float64(probs.Data[i*k+1]) // class 1 = ad
+		}
+		st.arena.PutTensor(probs)
+		st.arena.PutTensor(x)
+		b.batches.Add(1)
+	}
+	b.putState(st)
+	b.frames.Add(int64(len(frames)))
+	return out
+}
+
+// Warm runs one forward pass at every chunk size a batch of up to maxBatch
+// frames can produce. The arena free-lists are exact-size, so a chunk size
+// first seen on the serving hot path would allocate there instead.
+func (b *base) Warm(maxBatch int) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxBatch > BatchChunk {
+		maxBatch = BatchChunk
+	}
+	frame := imaging.NewBitmap(b.res, b.res)
+	frames := make([]*imaging.Bitmap, maxBatch)
+	for i := range frames {
+		frames[i] = frame
+	}
+	out := make([]float64, maxBatch)
+	for n := 1; n <= maxBatch; n++ {
+		b.InferBatchInto(frames[:n], out[:n])
+	}
+}
+
+// Close drains the warm-state pool, returning arenas to the global
+// free-list.
+func (b *base) Close() {
+	for {
+		st, ok := b.states.Get().(*inferState)
+		if !ok {
+			return
+		}
+		tensor.PutArena(st.arena)
+	}
+}

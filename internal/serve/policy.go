@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"percival/internal/metrics"
+)
+
+// Policy decides how long a shard's coalescer holds an underfull batch open
+// waiting for more submissions. Implementations must be safe for concurrent
+// use from every shard's batcher and workers, and must not allocate on
+// either call — both sit on the dispatch hot path.
+type Policy interface {
+	// Linger is read by a coalescer each time it opens a batch.
+	Linger() time.Duration
+	// ObserveBatch feeds back one dispatched batch: its fill, the configured
+	// maximum, and the oldest member's pre-dispatch wait (queue + linger
+	// time — the delay the policy's lever actually controls).
+	ObserveBatch(fill, maxBatch int, wait time.Duration)
+}
+
+// FixedPolicy is the non-adaptive policy: a constant linger budget.
+type FixedPolicy struct {
+	D time.Duration
+}
+
+// Linger returns the fixed budget.
+func (p FixedPolicy) Linger() time.Duration { return p.D }
+
+// ObserveBatch is a no-op.
+func (FixedPolicy) ObserveBatch(int, int, time.Duration) {}
+
+// AIMD defaults; see NewAIMDPolicy.
+const (
+	aimdDefaultMin        = 200 * time.Microsecond
+	aimdDefaultMax        = 5 * time.Millisecond
+	aimdDefaultStep       = 100 * time.Microsecond
+	aimdDefaultTargetWait = 10 * time.Millisecond
+	// aimdHistPeriod is how many batches pass between latency-histogram
+	// consultations (Quantile walks the bucket ladder; cheap, but not
+	// per-batch cheap).
+	aimdHistPeriod = 64
+)
+
+// AIMDPolicy adapts the linger budget with additive-increase /
+// multiplicative-decrease, replacing the fixed 2ms linger:
+//
+//   - a batch dispatched underfull by the timer means traffic is too thin
+//     for the current budget — lingering longer would improve fill, so the
+//     budget grows additively (+Step, capped at Max);
+//   - a batch whose oldest member waited longer than TargetWait means the
+//     service is queue-bound — lingering is pure added latency, so the
+//     budget halves (floored at Min);
+//   - every aimdHistPeriod batches the live latency histogram's TargetQ
+//     quantile is checked against TargetWait, halving the budget when the
+//     tail is over budget even though individual batches look healthy.
+//
+// Under sustained overload the budget converges to Min (batches fill on
+// their own; holding them open is waste); under thin traffic it converges
+// to Max (fill is worth more than the wait); bursts walk between the two.
+type AIMDPolicy struct {
+	// Min and Max bound the linger budget (defaults 200µs, 5ms).
+	Min, Max time.Duration
+	// Step is the additive increase per underfull batch (default 100µs).
+	Step time.Duration
+	// TargetWait is the pre-dispatch wait budget (default 10ms).
+	TargetWait time.Duration
+	// TargetQ is the latency-histogram quantile held to TargetWait
+	// (default 0.95).
+	TargetQ float64
+	// Hist is the latency feed in milliseconds; serve.New wires the
+	// service's own LatencyMS histogram when nil.
+	Hist *metrics.Histogram
+
+	cur      atomic.Int64 // current linger, nanoseconds
+	nBatches atomic.Int64
+	// tailOver holds the latest windowed-histogram verdict: while the
+	// latency tail of the most recent observation window is over budget,
+	// additive increases are suppressed and every batch decreases —
+	// otherwise the climb between two histogram checks would win the
+	// tug-of-war against a once-per-period halving. The window is the
+	// delta between consecutive bucket snapshots (histMu + the two count
+	// buffers below), not the cumulative distribution: an all-time
+	// quantile can never recover from one bad epoch, which would pin the
+	// linger at Min forever.
+	tailOver   atomic.Bool
+	histMu     sync.Mutex
+	prevCounts []int64
+	curCounts  []int64
+}
+
+// NewAIMDPolicy returns an adaptive policy with the default bounds,
+// starting at Min.
+func NewAIMDPolicy() *AIMDPolicy {
+	p := &AIMDPolicy{
+		Min:        aimdDefaultMin,
+		Max:        aimdDefaultMax,
+		Step:       aimdDefaultStep,
+		TargetWait: aimdDefaultTargetWait,
+		TargetQ:    0.95,
+	}
+	p.cur.Store(int64(p.Min))
+	return p
+}
+
+// Linger returns the current adaptive budget.
+func (p *AIMDPolicy) Linger() time.Duration {
+	if cur := p.cur.Load(); cur > 0 {
+		return time.Duration(cur)
+	}
+	// zero-value AIMDPolicy (not built by NewAIMDPolicy): start at Min
+	return p.minOr()
+}
+
+func (p *AIMDPolicy) minOr() time.Duration {
+	if p.Min > 0 {
+		return p.Min
+	}
+	return aimdDefaultMin
+}
+
+func (p *AIMDPolicy) maxOr() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	return aimdDefaultMax
+}
+
+func (p *AIMDPolicy) stepOr() time.Duration {
+	if p.Step > 0 {
+		return p.Step
+	}
+	return aimdDefaultStep
+}
+
+func (p *AIMDPolicy) targetWaitOr() time.Duration {
+	if p.TargetWait > 0 {
+		return p.TargetWait
+	}
+	return aimdDefaultTargetWait
+}
+
+// ObserveBatch applies the AIMD step for one dispatched batch. Updates are
+// load/store rather than CAS: concurrent shards may overwrite each other's
+// adjustment, which only dampens the walk — the bounds still hold.
+func (p *AIMDPolicy) ObserveBatch(fill, maxBatch int, wait time.Duration) {
+	target := p.targetWaitOr()
+	// Tail check: per-batch waits can look healthy while the latency tail
+	// creeps (deep queues behind full batches never report a long wait
+	// here). Every aimdHistPeriod batches, hold the tail quantile of the
+	// *window since the previous check* (bucket-count deltas, so a bad
+	// epoch ages out of the verdict) to the same budget. TryLock keeps
+	// racing workers off the snapshot buffers without blocking dispatch;
+	// the buffers allocate once, on the first check.
+	if p.Hist != nil && p.nBatches.Add(1)%aimdHistPeriod == 0 && p.histMu.TryLock() {
+		q := p.TargetQ
+		if q == 0 {
+			q = 0.95
+		}
+		p.curCounts = p.Hist.CountsInto(p.curCounts)
+		if len(p.prevCounts) != len(p.curCounts) {
+			p.prevCounts = make([]int64, len(p.curCounts))
+		}
+		var windowN int64
+		for i, c := range p.curCounts {
+			d := c - p.prevCounts[i]
+			p.prevCounts[i] = c
+			p.curCounts[i] = d // curCounts becomes the windowed distribution
+			windowN += d
+		}
+		over := false
+		if windowN > 0 {
+			over = p.Hist.QuantileOf(p.curCounts, q) > float64(target)/1e6
+		}
+		p.tailOver.Store(over)
+		p.histMu.Unlock()
+	}
+	cur := p.Linger()
+	switch {
+	case wait > target || p.tailOver.Load():
+		// queue-bound (directly observed or via the latency tail): batches
+		// fill or age out without help; lingering longer only adds
+		// latency. Multiplicative decrease.
+		p.store(cur / 2)
+	case fill < maxBatch:
+		// timer-dispatched underfull batch with latency headroom: trade a
+		// little wait for better fill. Additive increase.
+		p.store(cur + p.stepOr())
+	}
+}
+
+// store clamps to [Min, Max] and publishes.
+func (p *AIMDPolicy) store(d time.Duration) {
+	if min := p.minOr(); d < min {
+		d = min
+	}
+	if max := p.maxOr(); d > max {
+		d = max
+	}
+	p.cur.Store(int64(d))
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"percival/internal/core"
+	"percival/internal/metrics"
+	"percival/internal/synth"
+)
+
+// TestAIMDConvergenceBounds pins the adaptive policy's convergence
+// behaviour: the linger never leaves [Min, Max], sustained overload walks
+// it down to Min, and sustained thin traffic walks it up to Max.
+func TestAIMDConvergenceBounds(t *testing.T) {
+	p := NewAIMDPolicy()
+	if got := p.Linger(); got != p.Min {
+		t.Fatalf("initial linger %v, want Min %v", got, p.Min)
+	}
+
+	// thin traffic: underfull timer batches with tiny waits → additive
+	// climb to Max, never beyond
+	for i := 0; i < 1000; i++ {
+		p.ObserveBatch(2, 16, time.Millisecond)
+		if l := p.Linger(); l < p.Min || l > p.Max {
+			t.Fatalf("step %d: linger %v escaped [%v, %v]", i, l, p.Min, p.Max)
+		}
+	}
+	if got := p.Linger(); got != p.Max {
+		t.Fatalf("thin traffic converged to %v, want Max %v", got, p.Max)
+	}
+	// climb is additive: from Min it must take at least (Max-Min)/Step steps
+	p2 := NewAIMDPolicy()
+	steps := 0
+	for p2.Linger() < p2.Max {
+		p2.ObserveBatch(2, 16, 0)
+		steps++
+	}
+	if minSteps := int((p2.Max - p2.Min) / p2.Step); steps < minSteps {
+		t.Fatalf("climbed Min→Max in %d steps; additive increase needs ≥ %d", steps, minSteps)
+	}
+
+	// overload: waits past TargetWait → multiplicative collapse to Min,
+	// and fast (halving: ~log2(Max/Min) steps, allow slack)
+	steps = 0
+	for p.Linger() > p.Min {
+		p.ObserveBatch(16, 16, p.TargetWait+time.Millisecond)
+		steps++
+		if steps > 64 {
+			t.Fatalf("overload did not converge to Min within 64 steps (at %v)", p.Linger())
+		}
+	}
+	if steps > 10 {
+		t.Fatalf("multiplicative decrease took %d steps for Max→Min", steps)
+	}
+
+	// full batches inside the wait budget leave the linger alone
+	before := p.Linger()
+	p.ObserveBatch(16, 16, time.Millisecond)
+	if got := p.Linger(); got != before {
+		t.Fatalf("healthy full batch moved linger %v → %v", before, got)
+	}
+}
+
+// TestAIMDHistogramTailDecrease: a healthy-looking batch stream with an
+// over-budget latency tail must pull the linger down via the periodic
+// histogram check — and because the check is windowed (bucket deltas
+// between checks, not the all-time distribution), the policy must recover
+// once the tail clears instead of staying pinned at Min forever.
+func TestAIMDHistogramTailDecrease(t *testing.T) {
+	p := NewAIMDPolicy()
+	p.Hist = metrics.NewHistogram(nil)
+	// drive to Max with thin traffic first
+	for i := 0; i < 100; i++ {
+		p.ObserveBatch(2, 16, 0)
+	}
+	if p.Linger() != p.Max {
+		t.Fatalf("setup: linger %v, want Max", p.Linger())
+	}
+	// latency tail far over the 10ms budget, then one check period of
+	// individually healthy batches: the windowed p95 must flip tailOver
+	// and start decreasing
+	for i := 0; i < 1000; i++ {
+		p.Hist.Observe(100)
+	}
+	for i := 0; i < aimdHistPeriod+1; i++ {
+		p.ObserveBatch(2, 16, 0)
+	}
+	if got := p.Linger(); got >= p.Max {
+		t.Fatalf("over-budget tail left linger at %v", got)
+	}
+	// the bad epoch is behind us: no new over-budget samples arrive, so
+	// the next window is clean and the policy must climb back toward Max
+	// (a cumulative quantile could never recover here)
+	for i := 0; i < 3*aimdHistPeriod; i++ {
+		p.Hist.Observe(0.5)
+		p.ObserveBatch(2, 16, 0)
+	}
+	if got := p.Linger(); got != p.Max {
+		t.Fatalf("policy did not recover after the tail cleared: linger %v, want Max %v", got, p.Max)
+	}
+}
+
+// TestFixedPolicyIsConstant: the default policy ignores feedback.
+func TestFixedPolicyIsConstant(t *testing.T) {
+	p := FixedPolicy{D: 3 * time.Millisecond}
+	p.ObserveBatch(1, 16, time.Hour)
+	if got := p.Linger(); got != 3*time.Millisecond {
+		t.Fatalf("fixed policy drifted to %v", got)
+	}
+}
+
+// TestAdaptiveServerServes: a server running the AIMD policy end to end
+// still produces correct verdicts and keeps the policy within bounds.
+func TestAdaptiveServerServes(t *testing.T) {
+	pol := NewAIMDPolicy()
+	svc := testCore(t, core.Options{})
+	s, err := New(svc, Options{Shards: 2, Workers: 2, MaxBatch: 4, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if pol.Hist == nil {
+		t.Fatal("serve.New must wire the latency histogram into the policy")
+	}
+	frames := synth.SampleFrames(71, 24)
+	for i, f := range frames {
+		r := s.Submit(f)
+		if r.Status == StatusShed {
+			t.Fatalf("frame %d shed with no load", i)
+		}
+		if want := svc.Classify(f); r.Score != want {
+			t.Fatalf("frame %d: adaptive score %v, sync %v", i, r.Score, want)
+		}
+	}
+	if l := pol.Linger(); l < pol.Min || l > pol.Max {
+		t.Fatalf("policy escaped bounds: %v", l)
+	}
+}

@@ -1,17 +1,21 @@
 // Package serve turns PERCIVAL's synchronous per-caller classifier into a
 // concurrent micro-batching service: many goroutines Submit single frames,
-// a coalescing batcher collects them into batches bounded by size and a
-// latency budget, and per-worker dispatch loops run each batch through the
-// warm arena-backed engine (FP32 or INT8, whichever the parity gate
-// selected) in one forward pass. This is the throughput story the paper's
+// per-shard coalescing batchers collect them into batches bounded by size
+// and a latency budget, and dispatch workers run each batch through a warm
+// engine.Backend replica (FP32 or INT8, whichever the selection policy
+// chose) in one forward pass. This is the throughput story the paper's
 // deployment needs at scale: per-frame latency is already hardware-bound,
 // so serving millions of users is about amortizing forward passes and
 // never classifying the same creative twice.
 //
-// The service layers three mechanisms in front of the model:
+// The service layers four mechanisms in front of the model:
 //
-//   - a sharded verdict cache keyed by frame content hash, replacing the
-//     single-mutex memoization cache as the hot-path bottleneck;
+//   - dispatch sharding: submissions are partitioned by content-hash range
+//     over Options.Shards independent shards, each owning its own queue,
+//     coalescing batcher, verdict-cache slice, and backend replica (own
+//     arena pool — shards never contend for inference state);
+//   - a sharded verdict cache keyed by frame content hash with shard
+//     affinity: a creative's verdict lives exactly where its repeats route;
 //   - in-flight request coalescing: a frame identical to one already being
 //     classified attaches to the in-flight request instead of queueing a
 //     duplicate model run (ad creatives repeat — that is the point);
@@ -20,17 +24,23 @@
 //     StatusShed ("verdict unknown", render the frame) instead of growing
 //     the queue without bound.
 //
+// How long a batcher holds an underfull batch open is set by a Policy: a
+// fixed linger by default, or the AIMD adaptive policy (see policy.go)
+// that tunes the linger against the live latency histogram.
+//
 // Counters and latency histograms are exported through internal/metrics and
 // rendered by cmd/percival-serve's /metrics endpoint.
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"percival/internal/core"
+	"percival/internal/engine"
 	"percival/internal/imaging"
 	"percival/internal/metrics"
 )
@@ -83,30 +93,44 @@ type Result struct {
 // defaults from New.
 type Options struct {
 	// MaxBatch caps frames per dispatched forward pass (default 16,
-	// matching core's batch chunk so one dispatch is one forward pass).
+	// matching the engine batch chunk so one dispatch is one forward pass).
 	MaxBatch int
-	// Linger is how long the coalescer holds an underfull batch open
-	// waiting for more submissions (default 2ms). Smaller favors latency,
-	// larger favors batch fill.
+	// Linger is how long a coalescer holds an underfull batch open waiting
+	// for more submissions (default 2ms) when no Policy is set. Smaller
+	// favors latency, larger favors batch fill.
 	Linger time.Duration
-	// Workers is the number of dispatch workers, each driving warm
-	// per-worker inference state (default GOMAXPROCS).
+	// Workers is the total number of dispatch workers across all shards,
+	// each driving warm inference state (default GOMAXPROCS). Split evenly
+	// over shards, at least one per shard.
 	Workers int
-	// QueueDepth bounds the submit queue (default 4*Workers*MaxBatch).
-	// A full queue blocks submitters — backpressure, not buffering.
+	// QueueDepth bounds the submit queues in total entries across shards
+	// (default 4*Workers*MaxBatch). A full shard queue blocks submitters —
+	// backpressure, not buffering.
 	QueueDepth int
 	// Deadline sheds requests that waited longer than this before their
 	// batch was dispatched (0 disables shedding).
 	Deadline time.Duration
-	// CacheSize bounds the sharded verdict cache in total entries
-	// (default 4096).
+	// CacheSize bounds the verdict cache in total entries across all
+	// shards (default 4096).
 	CacheSize int
-	// CacheShards is the lock-domain count, rounded up to a power of two
-	// (default 16).
+	// CacheShards is the lock-domain count per dispatch shard, rounded up
+	// to a power of two (default 16).
 	CacheShards int
 	// DisableCache turns verdict memoization off. In-flight coalescing
 	// stays active.
 	DisableCache bool
+	// Shards is the number of independent dispatch shards; submissions are
+	// partitioned by content-hash range, each shard owning its own queue,
+	// batcher, verdict-cache slice, and backend replica (default 1).
+	Shards int
+	// Backend overrides the inference engine (default: the classifier's
+	// active backend). Each shard replicates it, so the value passed here
+	// never serves traffic directly.
+	Backend engine.Backend
+	// Policy sets the adaptive linger/batch policy (default: fixed Linger).
+	// An *AIMDPolicy with no Hist is wired to the service's own latency
+	// histogram.
+	Policy Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Linger == 0 {
 		o.Linger = 2 * time.Millisecond
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -150,11 +177,14 @@ type Metrics struct {
 	BatchFill *metrics.Histogram
 	// LatencyMS records enqueue→resolve latency for model-scored frames.
 	LatencyMS *metrics.Histogram
+	// ShardFrames counts model-dispatched frames per shard (routing and
+	// balance observability).
+	ShardFrames []metrics.Counter
 }
 
 // Expose renders every metric in Prometheus text exposition format.
 func (m *Metrics) Expose() string {
-	return metrics.ExposeCounter("percival_serve_submitted_total", &m.Submitted) +
+	s := metrics.ExposeCounter("percival_serve_submitted_total", &m.Submitted) +
 		metrics.ExposeCounter("percival_serve_cache_hits_total", &m.CacheHits) +
 		metrics.ExposeCounter("percival_serve_coalesced_total", &m.Coalesced) +
 		metrics.ExposeCounter("percival_serve_classified_total", &m.Classified) +
@@ -162,6 +192,11 @@ func (m *Metrics) Expose() string {
 		metrics.ExposeCounter("percival_serve_batches_total", &m.Batches) +
 		m.BatchFill.Expose("percival_serve_batch_fill") +
 		m.LatencyMS.Expose("percival_serve_latency_ms")
+	for i := range m.ShardFrames {
+		s += fmt.Sprintf("percival_serve_shard_frames_total{shard=\"%d\"} %d\n",
+			i, m.ShardFrames[i].Load())
+	}
+	return s
 }
 
 // request is one in-flight submission. Requests are pooled: the done
@@ -177,24 +212,37 @@ type request struct {
 	followers []*request    // coalesced duplicates, guarded by the key's shard lock
 }
 
-// Server is the micro-batching classification service.
-type Server struct {
-	svc   *core.Percival
-	opts  Options
-	cache *shardedCache
+// shard is one independent dispatch lane: a content-hash range of the key
+// space with its own submit queue, coalescing batcher, verdict-cache
+// slice, and backend replica. A shard's arena state is its own — two
+// shards never contend for inference buffers.
+type shard struct {
+	srv     *Server
+	id      int
+	backend engine.Backend
+	cache   *shardedCache
 
 	queue       chan *request
 	batches     chan []*request
 	freeBatches chan []*request
 
+	loopsWG sync.WaitGroup // coalescer + workers
+}
+
+// Server is the sharded micro-batching classification service.
+type Server struct {
+	svc    *core.Percival
+	opts   Options
+	policy Policy
+	shards []*shard
+
 	reqPool sync.Pool
 
 	// closeMu serializes submissions against Close: submitters hold the
-	// read side across pending-registration and the queue send, so the
-	// queue is never closed under an in-flight sender.
+	// read side across pending-registration and the queue send, so no
+	// shard queue is ever closed under an in-flight sender.
 	closeMu sync.RWMutex
 	closed  bool
-	loopsWG sync.WaitGroup // coalescer + workers
 
 	met Metrics
 }
@@ -214,30 +262,76 @@ func New(svc *core.Percival, opts Options) (*Server, error) {
 	if opts.QueueDepth < 1 {
 		return nil, fmt.Errorf("serve: QueueDepth %d < 1", opts.QueueDepth)
 	}
-	cacheSize := opts.CacheSize
-	if opts.DisableCache {
-		cacheSize = 0
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("serve: Shards %d < 1", opts.Shards)
+	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = svc.Engine()
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = FixedPolicy{D: opts.Linger}
 	}
 	s := &Server{
-		svc:         svc,
-		opts:        opts,
-		cache:       newShardedCache(opts.CacheShards, cacheSize),
-		queue:       make(chan *request, opts.QueueDepth),
-		batches:     make(chan []*request, opts.Workers),
-		freeBatches: make(chan []*request, opts.Workers+2),
+		svc:    svc,
+		opts:   opts,
+		policy: policy,
 	}
 	s.met.BatchFill = metrics.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64})
 	s.met.LatencyMS = metrics.NewHistogram(nil)
+	s.met.ShardFrames = make([]metrics.Counter, opts.Shards)
+	if a, ok := policy.(*AIMDPolicy); ok && a.Hist == nil {
+		a.Hist = s.met.LatencyMS
+	}
 	s.reqPool.New = func() any {
 		return &request{done: make(chan struct{}, 1)}
 	}
-	s.loopsWG.Add(1)
-	go s.coalesce()
-	for i := 0; i < opts.Workers; i++ {
-		s.loopsWG.Add(1)
-		go s.worker()
+
+	// split the global budgets evenly across shards, at least 1 each
+	perShard := func(total int) int {
+		n := (total + opts.Shards - 1) / opts.Shards
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	workers := perShard(opts.Workers)
+	queueDepth := perShard(opts.QueueDepth)
+	cacheSize := perShard(opts.CacheSize)
+	if opts.DisableCache {
+		cacheSize = 0
+	}
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			srv:         s,
+			id:          i,
+			backend:     backend.Replicate(),
+			cache:       newShardedCache(opts.CacheShards, cacheSize),
+			queue:       make(chan *request, queueDepth),
+			batches:     make(chan []*request, workers),
+			freeBatches: make(chan []*request, workers+2),
+		}
+		s.shards[i] = sh
+		sh.loopsWG.Add(1)
+		go sh.coalesce()
+		for w := 0; w < workers; w++ {
+			sh.loopsWG.Add(1)
+			go sh.worker()
+		}
 	}
 	return s, nil
+}
+
+// shardFor partitions the key space by content-hash range: the leading 4
+// bytes of the (uniform, cryptographic) hash are treated as a fixed-point
+// fraction of the keyspace and scaled to the shard count, so the same
+// content hash always routes to the same shard regardless of shard-internal
+// cache geometry.
+func (s *Server) shardFor(k frameKey) *shard {
+	hi := uint64(binary.BigEndian.Uint32(k[0:4]))
+	return s.shards[int(hi*uint64(len(s.shards))>>32)]
 }
 
 // Service returns the wrapped classifier (model introspection, stats).
@@ -246,11 +340,41 @@ func (s *Server) Service() *core.Percival { return s.svc }
 // Metrics returns the live service metrics.
 func (s *Server) Metrics() *Metrics { return &s.met }
 
-// CacheLen reports the number of memoized verdicts.
-func (s *Server) CacheLen() int { return s.cache.len() }
+// Shards reports the dispatch-shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// BackendStats returns each shard replica's engine dispatch counters.
+func (s *Server) BackendStats() []engine.Stats {
+	out := make([]engine.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.backend.Stats()
+	}
+	return out
+}
+
+// Warm pre-touches every shard replica's arena state for all batch sizes
+// the coalescers can dispatch, so the first real burst allocates nothing.
+func (s *Server) Warm() {
+	for _, sh := range s.shards {
+		sh.backend.Warm(s.opts.MaxBatch)
+	}
+}
+
+// CacheLen reports the number of memoized verdicts across all shards.
+func (s *Server) CacheLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.cache.len()
+	}
+	return n
+}
 
 // ResetCache drops all memoized verdicts (creative-rotation epoch).
-func (s *Server) ResetCache() { s.cache.reset() }
+func (s *Server) ResetCache() {
+	for _, sh := range s.shards {
+		sh.cache.reset()
+	}
+}
 
 // result materializes a Result from a resolved request.
 func (s *Server) result(r *request) Result {
@@ -277,13 +401,14 @@ func (s *Server) putRequest(r *request) {
 	s.reqPool.Put(r)
 }
 
-// begin starts one submission: cache lookup, in-flight coalescing, or
-// leader enqueue. It returns either an immediate result (ok=true) or the
-// request to wait on.
+// begin starts one submission: shard routing, cache lookup, in-flight
+// coalescing, or leader enqueue. It returns either an immediate result
+// (ok=true) or the request to wait on.
 func (s *Server) begin(frame *imaging.Bitmap) (Result, bool, *request) {
 	s.met.Submitted.Inc()
 	key := hashFrame(frame)
-	sh := s.cache.shard(key)
+	shd := s.shardFor(key)
+	ch := shd.cache.shard(key)
 
 	s.closeMu.RLock()
 	if s.closed {
@@ -292,27 +417,27 @@ func (s *Server) begin(frame *imaging.Bitmap) (Result, bool, *request) {
 		return Result{Status: StatusShed}, true, nil
 	}
 
-	sh.mu.Lock()
-	if v, ok := sh.m[key]; ok {
-		sh.mu.Unlock()
+	ch.mu.Lock()
+	if v, ok := ch.m[key]; ok {
+		ch.mu.Unlock()
 		s.closeMu.RUnlock()
 		s.met.CacheHits.Inc()
 		return Result{Score: v, Ad: v >= s.svc.Threshold(), Status: StatusCached}, true, nil
 	}
-	if leader, ok := sh.pending[key]; ok {
+	if leader, ok := ch.pending[key]; ok {
 		f := s.getRequest(nil, key)
 		leader.followers = append(leader.followers, f)
-		sh.mu.Unlock()
+		ch.mu.Unlock()
 		s.closeMu.RUnlock()
 		return Result{}, false, f
 	}
 	r := s.getRequest(frame, key)
-	sh.pending[key] = r
-	sh.mu.Unlock()
+	ch.pending[key] = r
+	ch.mu.Unlock()
 
-	// Bounded queue: a full queue blocks the submitter (backpressure);
+	// Bounded queue: a full shard queue blocks the submitter (backpressure);
 	// requests that then sit past the deadline are shed at dispatch.
-	s.queue <- r
+	shd.queue <- r
 	s.closeMu.RUnlock()
 	return Result{}, false, r
 }
@@ -360,12 +485,13 @@ func (s *Server) SubmitAsync(frame *imaging.Bitmap) *Future {
 	return &Future{s: s, r: r}
 }
 
-// coalesce is the batching loop: it drains the submit queue into batches
-// bounded by MaxBatch and the Linger budget, then hands each batch to a
-// dispatch worker.
-func (s *Server) coalesce() {
-	defer s.loopsWG.Done()
-	defer close(s.batches)
+// coalesce is a shard's batching loop: it drains the shard's submit queue
+// into batches bounded by MaxBatch and the policy's linger budget, then
+// hands each batch to a dispatch worker.
+func (sh *shard) coalesce() {
+	defer sh.loopsWG.Done()
+	defer close(sh.batches)
+	s := sh.srv
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -378,16 +504,16 @@ func (s *Server) coalesce() {
 			}
 		}
 	}
-	batch := s.getBatchSlice()
+	batch := sh.getBatchSlice()
 	flush := func() {
 		if len(batch) > 0 {
-			s.batches <- batch
-			batch = s.getBatchSlice()
+			sh.batches <- batch
+			batch = sh.getBatchSlice()
 		}
 	}
 	for {
 		if len(batch) == 0 {
-			r, ok := <-s.queue
+			r, ok := <-sh.queue
 			if !ok {
 				return
 			}
@@ -396,10 +522,10 @@ func (s *Server) coalesce() {
 				flush()
 				continue
 			}
-			timer.Reset(s.opts.Linger)
+			timer.Reset(s.policy.Linger())
 		}
 		select {
-		case r, ok := <-s.queue:
+		case r, ok := <-sh.queue:
 			if !ok {
 				stopTimer()
 				flush()
@@ -416,32 +542,31 @@ func (s *Server) coalesce() {
 	}
 }
 
-func (s *Server) getBatchSlice() []*request {
+func (sh *shard) getBatchSlice() []*request {
 	select {
-	case b := <-s.freeBatches:
+	case b := <-sh.freeBatches:
 		return b
 	default:
-		return make([]*request, 0, s.opts.MaxBatch)
+		return make([]*request, 0, sh.srv.opts.MaxBatch)
 	}
 }
 
-// worker is one dispatch loop: it owns reusable frame/score slices and runs
-// each batch through core's warm arena-backed batch path (the per-worker
-// replica state lives in core's inference-state pool, one checkout per
-// concurrent dispatch).
-func (s *Server) worker() {
-	defer s.loopsWG.Done()
+// worker is one shard dispatch loop: it owns reusable frame/score slices
+// and runs each batch through the shard's warm backend replica.
+func (sh *shard) worker() {
+	defer sh.loopsWG.Done()
+	s := sh.srv
 	frames := make([]*imaging.Bitmap, 0, s.opts.MaxBatch)
 	live := make([]*request, 0, s.opts.MaxBatch)
 	scores := make([]float64, s.opts.MaxBatch)
-	for batch := range s.batches {
+	for batch := range sh.batches {
 		frames = frames[:0]
 		live = live[:0]
+		now := time.Now()
 		if s.opts.Deadline > 0 {
-			now := time.Now()
 			for _, r := range batch {
 				if now.Sub(r.enq) > s.opts.Deadline {
-					s.resolveShed(r)
+					sh.resolveShed(r)
 					continue
 				}
 				live = append(live, r)
@@ -454,16 +579,21 @@ func (s *Server) worker() {
 			}
 		}
 		if len(live) > 0 {
-			out := s.svc.ClassifyBatchInto(frames, scores[:len(live)])
+			// the oldest request's pre-dispatch wait is the queue+linger
+			// delay the policy controls (model time is not its lever)
+			wait := now.Sub(live[0].enq)
+			out := sh.backend.InferBatchInto(frames, scores[:len(live)])
 			s.met.Batches.Inc()
 			s.met.BatchFill.Observe(float64(len(live)))
 			s.met.Classified.Add(int64(len(live)))
+			s.met.ShardFrames[sh.id].Add(int64(len(live)))
 			for i, r := range live {
-				s.resolve(r, out[i])
+				sh.resolve(r, out[i])
 			}
+			s.policy.ObserveBatch(len(live), s.opts.MaxBatch, wait)
 		}
 		select {
-		case s.freeBatches <- batch[:0]:
+		case sh.freeBatches <- batch[:0]:
 		default:
 		}
 	}
@@ -471,17 +601,18 @@ func (s *Server) worker() {
 
 // resolve publishes a model verdict: memoize, release the in-flight slot,
 // fan the score out to coalesced followers, wake the leader.
-func (s *Server) resolve(r *request, score float64) {
+func (sh *shard) resolve(r *request, score float64) {
+	s := sh.srv
 	s.met.LatencyMS.Observe(float64(time.Since(r.enq).Nanoseconds()) / 1e6)
-	sh := s.cache.shard(r.key)
-	sh.mu.Lock()
-	sh.put(r.key, score)
-	if sh.pending[r.key] == r {
-		delete(sh.pending, r.key)
+	ch := sh.cache.shard(r.key)
+	ch.mu.Lock()
+	ch.put(r.key, score)
+	if ch.pending[r.key] == r {
+		delete(ch.pending, r.key)
 	}
 	followers := r.followers
 	r.followers = nil
-	sh.mu.Unlock()
+	ch.mu.Unlock()
 	for _, f := range followers {
 		f.score = score
 		f.status = StatusCoalesced
@@ -495,15 +626,16 @@ func (s *Server) resolve(r *request, score float64) {
 
 // resolveShed rejects a request (and any coalesced followers) with
 // verdict-unknown.
-func (s *Server) resolveShed(r *request) {
-	sh := s.cache.shard(r.key)
-	sh.mu.Lock()
-	if sh.pending[r.key] == r {
-		delete(sh.pending, r.key)
+func (sh *shard) resolveShed(r *request) {
+	s := sh.srv
+	ch := sh.cache.shard(r.key)
+	ch.mu.Lock()
+	if ch.pending[r.key] == r {
+		delete(ch.pending, r.key)
 	}
 	followers := r.followers
 	r.followers = nil
-	sh.mu.Unlock()
+	ch.mu.Unlock()
 	for _, f := range followers {
 		f.status = StatusShed
 		s.met.Shed.Inc()
@@ -514,10 +646,11 @@ func (s *Server) resolveShed(r *request) {
 	r.done <- struct{}{}
 }
 
-// Close drains the service: it waits for in-flight submitters, stops the
-// batcher and workers, and resolves everything still queued. Submissions
-// racing with Close resolve as StatusShed. The server must not be used
-// after Close.
+// Close drains the service: it waits for in-flight submitters, stops every
+// shard's batcher and workers, resolves everything still queued (open
+// linger batches are flushed, not dropped), and closes the shard backend
+// replicas. Submissions racing with Close resolve as StatusShed. The
+// server must not be used after Close.
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -526,6 +659,11 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.closeMu.Unlock()
-	close(s.queue)
-	s.loopsWG.Wait()
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	for _, sh := range s.shards {
+		sh.loopsWG.Wait()
+		sh.backend.Close()
+	}
 }
