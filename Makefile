@@ -38,9 +38,10 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dom
 
 # Headline benchmark snapshot: runs the perf-trajectory benchmarks (FP32 and
-# INT8 inference, serve-vs-sync throughput and the shard-count sweep at
-# concurrency 8, stem GEMMs, resize, training epoch) plus the INT8
-# accuracy-parity comparison, and writes BENCH_4.json.
+# INT8 inference, serve-vs-sync throughput, the shard-count sweep and the
+# two-tier remote-dispatch rotation at concurrency 8, stem GEMMs, resize,
+# training epoch) plus the INT8 accuracy-parity comparison, and writes
+# BENCH_5.json.
 #
 # BENCH_SMOKE=1 instead runs one iteration of every inference/serving
 # headline benchmark (both engines, all shard counts, the sync baselines,
@@ -54,7 +55,7 @@ ifdef BENCH_SMOKE
 	$(GO) test -run=NONE -bench='BenchmarkGemm|BenchmarkQGemm' -benchtime=1x ./internal/tensor/
 	$(GO) build -o /dev/null ./cmd/percival-bench
 else
-	$(GO) run ./cmd/percival-bench -out BENCH_4.json
+	$(GO) run ./cmd/percival-bench -out BENCH_5.json
 endif
 
 # Full benchmark sweep (slow: regenerates every paper figure).

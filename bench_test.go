@@ -148,6 +148,12 @@ func BenchmarkServeRotation8x2Int8(b *testing.B) { benchsuite.ServeRotation8x2In
 // BenchmarkServeRotation8x4 is the 4-shard rotation benchmark.
 func BenchmarkServeRotation8x4(b *testing.B) { benchsuite.ServeRotation8x4(b) }
 
+// BenchmarkServeRemote8x2 is the two-tier rotation benchmark: 2 dispatch
+// shards proxying every forward pass to two backend replicas over loopback
+// HTTP (engine.RemoteBackend). Its delta against BenchmarkServeRotation8x2
+// is the remote-dispatch proxy overhead.
+func BenchmarkServeRemote8x2(b *testing.B) { benchsuite.ServeRemote8x2(b) }
+
 // BenchmarkServeSteady8x2 is the sharded steady-state benchmark and the
 // 0 allocs/op gate for the sharded dispatch hot path.
 func BenchmarkServeSteady8x2(b *testing.B) { benchsuite.ServeSteady8x2(b) }

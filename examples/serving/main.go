@@ -3,16 +3,25 @@
 // deployment shape for serving heavy traffic, where throughput comes from
 // batched forward passes, in-flight coalescing, and the sharded verdict
 // cache rather than from per-frame latency alone.
+//
+// The second act scales the same service across process boundaries: a
+// front serve.Server whose dispatch shards proxy every forward pass to two
+// backend percival-serve replicas over HTTP (engine.RemoteBackend riding
+// POST /classify/batch — spawned in-process here via httptest, `-peers`
+// on a real deployment), with fail-open shedding when a peer dies.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"time"
 
 	"percival/internal/core"
+	"percival/internal/engine"
 	"percival/internal/imaging"
 	"percival/internal/serve"
 	"percival/internal/squeezenet"
@@ -99,4 +108,78 @@ func main() {
 		fmt.Printf("  shard %d      %d frames in %d forward passes (%s replica)\n",
 			i, st.Frames, st.Batches, svc.Engine().Name())
 	}
+	srv.Close()
+
+	// --- Two-tier topology: the same workload, but the front's dispatch
+	// shards proxy to two backend model processes over the /classify/batch
+	// wire. Each shard pins its own remote replica (round-robin over the
+	// peer pool), and verdicts are identical to in-process dispatch because
+	// the peers run the exact same pre-processing and forward pass.
+	fmt.Println()
+	fmt.Println("two-tier: front serve.Server -> 2 remote percival-serve backends")
+	peers := make([]*engine.RemoteBackend, 2)
+	backendSrvs := make([]*httptest.Server, 2)
+	for i := range peers {
+		rep := svc.Engine().Replicate()
+		mux := http.NewServeMux()
+		mux.Handle("POST /classify/batch", engine.BatchHandler(nil, rep))
+		mux.Handle("GET /modelz", engine.ModelzHandler(nil, rep, svc.Threshold()))
+		backendSrvs[i] = httptest.NewServer(mux)
+		defer backendSrvs[i].Close()
+		rb, err := engine.NewRemote(backendSrvs[i].URL, engine.RemoteOptions{ExpectRes: svc.InputRes()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[i] = rb
+	}
+	pool, err := engine.NewRemotePool(peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	front, err := serve.New(svc, serve.Options{
+		MaxBatch: 16,
+		Shards:   2,
+		Policy:   serve.NewAIMDPolicy(),
+		Deadline: time.Second,
+		Backend:  pool,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	front.Warm()
+
+	mismatches := 0
+	for i, f := range frames {
+		res := front.Submit(f)
+		if want := svc.Classify(f); res.Score != want {
+			mismatches++
+			fmt.Printf("  frame %d: proxied %v != in-process %v\n", i, res.Score, want)
+		}
+	}
+	fmt.Printf("  %d/%d proxied verdicts identical to in-process dispatch\n",
+		len(frames)-mismatches, len(frames))
+	for i, st := range front.BackendStats() {
+		fmt.Printf("  shard %d      %d frames in %d proxied passes (%s)\n",
+			i, st.Frames, st.Batches, pool.Name())
+	}
+
+	// kill one backend: traffic routed to it fails open (score 0, render
+	// the frame) instead of blocking the page; the other shard keeps
+	// classifying. Frames route to shards by content hash, so submit until
+	// one lands on the dead peer's shard (bounded — this is a demo, not a
+	// coin flip).
+	backendSrvs[0].Close()
+	errs := func() int64 {
+		var n int64
+		for _, st := range front.BackendStats() {
+			n += st.Errors
+		}
+		return n
+	}
+	for i := 0; i < 64 && errs() == 0; i++ {
+		fresh, _ := g.Sample()
+		front.Submit(fresh)
+	}
+	fmt.Printf("  peer 0 down: %d dispatches failed open (verdict unknown, frame rendered)\n", errs())
 }

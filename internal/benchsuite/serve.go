@@ -1,12 +1,15 @@
 package benchsuite
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"percival/internal/core"
+	"percival/internal/engine"
 	"percival/internal/serve"
 	"percival/internal/squeezenet"
 	"percival/internal/synth"
@@ -178,6 +181,76 @@ func ServeRotation8x2Int8(b *testing.B) { serveRotation(b, 2, true) }
 // ServeRotation8x4 is the FP32 rotation workload over 4 dispatch shards
 // with the adaptive policy.
 func ServeRotation8x4(b *testing.B) { serveRotation(b, 4, false) }
+
+// ServeRemote8x2 is the two-tier counterpart of ServeRotation8x2: the same
+// rotation workload at the same concurrency and shard count, but every
+// forward pass is proxied to one of two backend percival-serve replicas
+// over loopback HTTP (engine.RemoteBackend riding /classify/batch). The
+// delta against ServeRotation8x2 is the measured proxy overhead — frame
+// encode, HTTP round trip, score decode — that PERFORMANCE.md's "Remote
+// backends" section tracks.
+func ServeRemote8x2(b *testing.B) {
+	svc := PaperService(false)
+	remotes := make([]*engine.RemoteBackend, 2)
+	for i := range remotes {
+		rep := svc.Engine().Replicate()
+		rep.Warm(16)
+		mux := http.NewServeMux()
+		mux.Handle("POST /classify/batch", engine.BatchHandler(nil, rep))
+		mux.Handle("GET /modelz", engine.ModelzHandler(nil, rep, svc.Threshold()))
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		rb, err := engine.NewRemote(ts.URL, engine.RemoteOptions{ExpectRes: svc.InputRes()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		remotes[i] = rb
+	}
+	pool, err := engine.NewRemotePool(remotes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(svc, serve.Options{
+		MaxBatch: 16,
+		Shards:   2,
+		Policy:   serve.NewAIMDPolicy(),
+		Backend:  pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Warm()
+	frames := synth.SampleFrames(19, serveRotationDistinct)
+	runWindow := func() {
+		var wg sync.WaitGroup
+		for c := 0; c < ServeConcurrency; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := range frames {
+					srv.Submit(frames[(c+i)%len(frames)])
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	runWindow() // warm pools, arenas and HTTP connections
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ResetCache()
+		runWindow()
+	}
+	b.StopTimer()
+	var errs int64
+	for _, st := range srv.BackendStats() {
+		errs += st.Errors
+	}
+	if errs > 0 {
+		b.Fatalf("remote dispatch failed open %d times during the benchmark", errs)
+	}
+	reportFPS(b, int64(b.N)*ServeConcurrency*serveRotationDistinct)
+}
 
 // ServeSteady8x2 is the sharded steady-state benchmark: 2 shards, AIMD
 // policy, memoization off — the 0 allocs/op gate for the sharded dispatch

@@ -58,9 +58,13 @@ type Config struct {
 	// classification runs concurrently with layout and rasterization, and
 	// the raster-time inspector merely resolves the in-flight verdict.
 	// Deployment shape (shard count, backend selection, adaptive batching)
-	// is the server's own serve.Options; the browser is agnostic to it.
-	// Shed verdicts fail open (the frame renders). Mutually exclusive with
-	// Inspector.
+	// is the server's own serve.Options; the browser is agnostic to it —
+	// including when the server's dispatch shards proxy forward passes to
+	// remote model processes (serve.Options.Backend = engine.RemoteBackend
+	// or a RemotePool, the `percival-serve -peers` topology). Shed verdicts
+	// fail open (the frame renders), and a remote transport failure
+	// surfaces the same way: verdict unknown, frame rendered, never a
+	// blocked page. Mutually exclusive with Inspector.
 	AsyncServe *serve.Server
 	// RasterWorkers sizes the raster thread pool (default 4, Chromium's
 	// desktop default).

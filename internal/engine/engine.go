@@ -41,6 +41,11 @@ type Stats struct {
 	Batches int64
 	// Frames counts frames scored.
 	Frames int64
+	// Errors counts chunks that failed open (score 0, verdict unknown)
+	// because the engine could not produce a real verdict — transport
+	// failures past the retry budget on a RemoteBackend. The in-process
+	// backends never fail open, so they always report 0.
+	Errors int64
 }
 
 // Backend is one inference engine: pre-processing, forward pass, and the

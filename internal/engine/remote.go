@@ -1,0 +1,349 @@
+package engine
+
+// RemoteBackend proxies InferBatchInto to another percival-serve over HTTP,
+// so one daemon can front a fleet of model processes: the front keeps the
+// serving edge (decode, batching, verdict cache, shedding) and the peers
+// keep the arenas and the weights. It is an ordinary Backend — serve shards
+// replicate it exactly like the in-process engines — and it rides the wire
+// surface defined in remotehttp.go.
+//
+// Failure semantics are fail-open: classification guards rendering, so a
+// peer that cannot be reached within the retry budget must never block or
+// break the page. A failed chunk resolves every frame to score 0 ("not an
+// ad", render it) and counts one Stats.Errors — the same contract as
+// serve's StatusShed, applied at the transport layer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"percival/internal/imaging"
+)
+
+// RemoteOptions tunes a RemoteBackend. The zero value gets defaults from
+// NewRemote.
+type RemoteOptions struct {
+	// Timeout bounds each HTTP attempt, handshake included (default 5s).
+	Timeout time.Duration
+	// Retries is how many times a failed batch attempt is re-sent before
+	// the chunk fails open. The zero value means no retries — the value
+	// given is the value used (percival-serve's -peer-retries flag carries
+	// the daemon default of 2); negative values are treated as 0.
+	Retries int
+	// Model selects a named backend on the peer (?model=); empty serves
+	// the peer's default.
+	Model string
+	// ExpectRes, when non-zero, rejects a peer whose input resolution
+	// differs — the proxy's frames would be pre-processed for the wrong
+	// network.
+	ExpectRes int
+	// Client overrides the HTTP client. Replicas share their parent's
+	// client, so a fleet of shard replicas reuses one connection pool.
+	Client *http.Client
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// RemoteBackend is a Backend whose forward passes run on a peer
+// percival-serve reached over HTTP. Safe for concurrent use.
+type RemoteBackend struct {
+	peer     string // normalized base URL ("http://host:port")
+	batchURL string // POST target incl. ?model=
+	name     string
+	res      int
+	timeout  time.Duration
+	retries  int
+	client   *http.Client
+
+	bufs    sync.Pool // *[]byte request bodies, reused across chunks
+	batches atomic.Int64
+	frames  atomic.Int64
+	errors  atomic.Int64
+}
+
+// NewRemote dials peer ("host:port" or a full URL), performs the GET
+// /modelz handshake to learn the engine name and input resolution, and
+// returns the proxy backend. The handshake must succeed: registering an
+// unreachable or mismatched peer is a deployment error, not a runtime
+// condition to fail open on.
+func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
+	opts = opts.withDefaults()
+	if !strings.Contains(peer, "://") {
+		peer = "http://" + peer
+	}
+	u, err := url.Parse(peer)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("engine: remote peer %q: invalid address", peer)
+	}
+	base := u.Scheme + "://" + u.Host
+	b := &RemoteBackend{
+		peer:    base,
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		client:  opts.Client,
+	}
+	b.batchURL = base + "/classify/batch"
+	modelzURL := base + "/modelz"
+	if opts.Model != "" {
+		q := "?model=" + url.QueryEscape(opts.Model)
+		b.batchURL += q
+		modelzURL += q
+	}
+	info, err := b.handshake(modelzURL)
+	if err != nil {
+		return nil, fmt.Errorf("engine: remote peer %s: %w", u.Host, err)
+	}
+	if info.WireVersion != wireVersion {
+		// refuse a mixed-version fleet at dial time: a version-skewed peer
+		// would deterministically reject every batch, failing all traffic
+		// open while looking healthy
+		return nil, fmt.Errorf("engine: remote peer %s speaks wire version %d, want %d",
+			u.Host, info.WireVersion, wireVersion)
+	}
+	if info.InputRes <= 0 {
+		return nil, fmt.Errorf("engine: remote peer %s: input resolution %d", u.Host, info.InputRes)
+	}
+	if opts.ExpectRes > 0 && info.InputRes != opts.ExpectRes {
+		return nil, fmt.Errorf("engine: remote peer %s serves res %d, want %d",
+			u.Host, info.InputRes, opts.ExpectRes)
+	}
+	b.res = info.InputRes
+	b.name = "remote:" + info.Engine + "@" + u.Host
+	return b, nil
+}
+
+// handshake fetches and decodes the peer's /modelz document.
+func (b *RemoteBackend) handshake(modelzURL string) (ModelzInfo, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, modelzURL, nil)
+	if err != nil {
+		return ModelzInfo{}, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return ModelzInfo{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return ModelzInfo{}, fmt.Errorf("modelz: %s", resp.Status)
+	}
+	var info ModelzInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return ModelzInfo{}, fmt.Errorf("modelz: %w", err)
+	}
+	return info, nil
+}
+
+// Name identifies the proxied engine and its peer
+// ("remote:fp32@10.0.0.7:8093").
+func (b *RemoteBackend) Name() string { return b.name }
+
+// Peer returns the normalized peer base URL.
+func (b *RemoteBackend) Peer() string { return b.peer }
+
+// InputRes is the peer's network input resolution (from the handshake).
+func (b *RemoteBackend) InputRes() int { return b.res }
+
+// Stats reports proxied batches/frames and the fail-open error count.
+func (b *RemoteBackend) Stats() Stats {
+	return Stats{Batches: b.batches.Load(), Frames: b.frames.Load(), Errors: b.errors.Load()}
+}
+
+// InferBatchInto proxies frames to the peer in BatchChunk-sized requests —
+// one forward pass per request on the peer — and fails open (score 0) for
+// any chunk still failing after the retry budget.
+func (b *RemoteBackend) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	if len(frames) == 0 {
+		return out[:0]
+	}
+	out = out[:len(frames)]
+	for lo := 0; lo < len(frames); lo += BatchChunk {
+		hi := lo + BatchChunk
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		b.inferChunk(frames[lo:hi], out[lo:hi])
+	}
+	b.frames.Add(int64(len(frames)))
+	return out
+}
+
+func (b *RemoteBackend) inferChunk(frames []*imaging.Bitmap, out []float64) {
+	bufp, _ := b.bufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	body := encodeFrames((*bufp)[:0], frames)
+	*bufp = body
+	defer b.bufs.Put(bufp)
+	for attempt := 0; attempt <= b.retries; attempt++ {
+		retryable, err := b.post(body, out)
+		if err == nil {
+			b.batches.Add(1)
+			return
+		}
+		if !retryable {
+			// a 4xx is the peer rejecting this exact request; re-sending
+			// the same body cannot succeed
+			break
+		}
+	}
+	// Fail open: the peer cannot score this chunk and the verdict is
+	// unknown. Score 0 renders the frame — the serving edge's shed
+	// semantics, applied here.
+	for i := range out {
+		out[i] = 0
+	}
+	b.errors.Add(1)
+}
+
+// post runs one HTTP attempt of a chunk. retryable reports whether a
+// further attempt could succeed (transport errors and 5xx yes, 4xx no).
+func (b *RemoteBackend) post(body []byte, out []float64) (retryable bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.batchURL, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return true, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode >= 500, fmt.Errorf("engine: peer %s: %s", b.peer, resp.Status)
+	}
+	if err := decodeScoresInto(resp.Body, out); err != nil {
+		return true, err
+	}
+	return false, nil
+}
+
+// Replicate returns a proxy to the same peer sharing this backend's HTTP
+// client (one connection pool per fleet) with its own counters — the
+// per-shard replica serve dispatch wants.
+func (b *RemoteBackend) Replicate() Backend {
+	return &RemoteBackend{
+		peer:     b.peer,
+		batchURL: b.batchURL,
+		name:     b.name,
+		res:      b.res,
+		timeout:  b.timeout,
+		retries:  b.retries,
+		client:   b.client,
+	}
+}
+
+// Warm pings the peer so the connection pool holds a live connection before
+// the first real dispatch. The peer warms its own arenas at startup.
+func (b *RemoteBackend) Warm(maxBatch int) {
+	b.handshake(b.peer + "/modelz")
+}
+
+// Close releases idle connections. The shared client stays usable for
+// sibling replicas; their Close calls are idempotent.
+func (b *RemoteBackend) Close() { b.client.CloseIdleConnections() }
+
+// drainClose consumes the rest of an HTTP response body so the connection
+// can be reused, then closes it.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}
+
+// RemotePool fronts several remote peers as one Backend: Replicate hands
+// out the next peer round-robin, which is how `percival-serve -peers` pins
+// each dispatch shard to its own remote replica; calls on the pool itself
+// round-robin per batch. InferBatchInto fails open per peer, so one dead
+// replica sheds only the traffic routed to it.
+type RemotePool struct {
+	peers []*RemoteBackend
+	next  atomic.Int64
+}
+
+// NewRemotePool builds a pool over peers, which must all serve the same
+// input resolution.
+func NewRemotePool(peers []*RemoteBackend) (*RemotePool, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("engine: remote pool needs at least one peer")
+	}
+	res := peers[0].InputRes()
+	for _, p := range peers[1:] {
+		if p.InputRes() != res {
+			return nil, fmt.Errorf("engine: remote pool mixes resolutions %d and %d (%s)",
+				res, p.InputRes(), p.Name())
+		}
+	}
+	return &RemotePool{peers: peers}, nil
+}
+
+// Peers returns the pooled backends (stats introspection).
+func (p *RemotePool) Peers() []*RemoteBackend { return p.peers }
+
+// Name identifies the pool and its size.
+func (p *RemotePool) Name() string { return fmt.Sprintf("remote-pool(%d)", len(p.peers)) }
+
+// InputRes is the shared peer resolution.
+func (p *RemotePool) InputRes() int { return p.peers[0].InputRes() }
+
+func (p *RemotePool) pick() *RemoteBackend {
+	return p.peers[int(p.next.Add(1)-1)%len(p.peers)]
+}
+
+// InferBatchInto routes the batch to the next peer round-robin.
+func (p *RemotePool) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	return p.pick().InferBatchInto(frames, out)
+}
+
+// Replicate pins the next peer round-robin: N serve shards over N peers
+// yields exactly one shard lane per remote replica.
+func (p *RemotePool) Replicate() Backend { return p.pick().Replicate() }
+
+// Warm pings every peer.
+func (p *RemotePool) Warm(maxBatch int) {
+	for _, b := range p.peers {
+		b.Warm(maxBatch)
+	}
+}
+
+// Close releases every peer's idle connections.
+func (p *RemotePool) Close() {
+	for _, b := range p.peers {
+		b.Close()
+	}
+}
+
+// Stats aggregates the peers' counters.
+func (p *RemotePool) Stats() Stats {
+	var s Stats
+	for _, b := range p.peers {
+		ps := b.Stats()
+		s.Batches += ps.Batches
+		s.Frames += ps.Frames
+		s.Errors += ps.Errors
+	}
+	return s
+}

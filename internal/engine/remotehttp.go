@@ -1,0 +1,211 @@
+package engine
+
+// The HTTP wire surface shared by RemoteBackend (the client in remote.go)
+// and the daemon endpoints cmd/percival-serve mounts: one binary frame-batch
+// format for POST /classify/batch and one JSON handshake for GET /modelz.
+// Keeping encoder, decoder and handlers in one file means the two sides of
+// the wire can never silently diverge.
+//
+// Batch request body (little-endian):
+//
+//	magic   "PCVB"            4 bytes
+//	version uint16            currently 1
+//	count   uint32            frames in the batch
+//	frame   w uint32, h uint32, then w*h*4 RGBA bytes, count times
+//
+// Batch response body:
+//
+//	magic   "PCVS"            4 bytes
+//	version uint16
+//	count   uint32            must equal the request count
+//	score   float64 bits (ad-class probability), count times
+//
+// Frames travel at their original resolution: the peer runs the exact same
+// pre-processing (ResizeBilinearInto + ToTensorInto) an in-process backend
+// would, so a proxied verdict is bit-identical to local dispatch.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"percival/internal/imaging"
+)
+
+const (
+	batchMagic  = "PCVB"
+	scoreMagic  = "PCVS"
+	wireVersion = 1
+	// wireHeaderLen is the shared magic+version+count prefix length.
+	wireHeaderLen = 4 + 2 + 4
+	// maxWireFrames bounds one batch request; a proxy chunks by BatchChunk,
+	// so anything near this limit is a misbehaving client, not a big batch.
+	maxWireFrames = 4096
+	// maxWireEdge/maxWireFrameBytes bound one frame before its pixel buffer
+	// is allocated, so a lying header cannot over-allocate the peer.
+	maxWireEdge       = 1 << 15
+	maxWireFrameBytes = 32 << 20
+)
+
+// encodeFrames appends the batch wire encoding of frames to buf.
+func encodeFrames(buf []byte, frames []*imaging.Bitmap) []byte {
+	buf = append(buf, batchMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frames)))
+	for _, f := range frames {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.W))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.H))
+		buf = append(buf, f.Pix...)
+	}
+	return buf
+}
+
+// decodeFrames reads a batch wire stream, validating every frame header
+// before allocating its pixel buffer.
+func decodeFrames(r io.Reader) ([]*imaging.Bitmap, error) {
+	br := bufio.NewReader(r)
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("engine: batch header: %w", err)
+	}
+	if string(hdr[:4]) != batchMagic {
+		return nil, fmt.Errorf("engine: not a frame batch (magic %q)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != wireVersion {
+		return nil, fmt.Errorf("engine: batch version %d, want %d", v, wireVersion)
+	}
+	count := binary.LittleEndian.Uint32(hdr[6:10])
+	if count == 0 || count > maxWireFrames {
+		return nil, fmt.Errorf("engine: batch of %d frames (1..%d)", count, maxWireFrames)
+	}
+	frames := make([]*imaging.Bitmap, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var dims [8]byte
+		if _, err := io.ReadFull(br, dims[:]); err != nil {
+			return nil, fmt.Errorf("engine: frame %d header: %w", i, err)
+		}
+		w := int(binary.LittleEndian.Uint32(dims[0:4]))
+		h := int(binary.LittleEndian.Uint32(dims[4:8]))
+		if w <= 0 || h <= 0 || w > maxWireEdge || h > maxWireEdge || w*h*4 > maxWireFrameBytes {
+			return nil, fmt.Errorf("engine: frame %d is %dx%d", i, w, h)
+		}
+		b := imaging.NewBitmap(w, h)
+		if _, err := io.ReadFull(br, b.Pix); err != nil {
+			return nil, fmt.Errorf("engine: frame %d pixels: %w", i, err)
+		}
+		frames = append(frames, b)
+	}
+	return frames, nil
+}
+
+// encodeScores appends the score wire encoding to buf.
+func encodeScores(buf []byte, scores []float64) []byte {
+	buf = append(buf, scoreMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(scores)))
+	for _, s := range scores {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	return buf
+}
+
+// decodeScoresInto reads a score stream into out; the peer must return
+// exactly len(out) scores.
+func decodeScoresInto(r io.Reader, out []float64) error {
+	br := bufio.NewReader(r)
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("engine: score header: %w", err)
+	}
+	if string(hdr[:4]) != scoreMagic {
+		return fmt.Errorf("engine: not a score stream (magic %q)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != wireVersion {
+		return fmt.Errorf("engine: score version %d, want %d", v, wireVersion)
+	}
+	if count := binary.LittleEndian.Uint32(hdr[6:10]); count != uint32(len(out)) {
+		return fmt.Errorf("engine: %d scores for %d frames", count, len(out))
+	}
+	var buf [8]byte
+	for i := range out {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("engine: score %d: %w", i, err)
+		}
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return nil
+}
+
+// selectWire resolves the ?model= parameter against the registry, falling
+// back to def when the parameter is absent (Registry.Select already handles
+// unknown names leniently).
+func selectWire(reg *Registry, def Backend, r *http.Request) Backend {
+	if name := r.URL.Query().Get("model"); name != "" && reg != nil {
+		return reg.Select(name)
+	}
+	return def
+}
+
+// BatchHandler serves POST /classify/batch: length-prefixed raw-RGBA frames
+// in, scores out, one forward pass per request (clients chunk by BatchChunk,
+// so a well-behaved request is exactly one forward pass on the selected
+// backend). ?model= selects a registry entry; def serves when the parameter
+// is absent. reg may be nil for a single-engine peer.
+func BatchHandler(reg *Registry, def Backend) http.HandlerFunc {
+	// one well-behaved request is at most BatchChunk max-size frames
+	const maxBatchBody = BatchChunk*(maxWireFrameBytes+8) + wireHeaderLen
+	return func(w http.ResponseWriter, r *http.Request) {
+		frames, err := decodeFrames(http.MaxBytesReader(w, r.Body, maxBatchBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b := selectWire(reg, def, r)
+		scores := make([]float64, len(frames))
+		b.InferBatchInto(frames, scores)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(encodeScores(make([]byte, 0, wireHeaderLen+8*len(scores)), scores))
+	}
+}
+
+// ModelzInfo is the GET /modelz handshake payload: everything a proxy needs
+// to validate a peer before routing traffic to it.
+type ModelzInfo struct {
+	// WireVersion is the /classify/batch format version the peer speaks; a
+	// proxy refuses a version-skewed peer at dial time, because every batch
+	// would deterministically fail open otherwise.
+	WireVersion int `json:"wire_version"`
+	// Engine is the backend that would serve a batch with the same ?model=.
+	Engine string `json:"engine"`
+	// InputRes is that backend's network input resolution; a proxy refuses
+	// a peer whose resolution differs from its own pre-processing contract.
+	InputRes int `json:"input_res"`
+	// Threshold is the peer's ad-probability blocking threshold.
+	Threshold float64 `json:"threshold"`
+	// Backends lists the peer's registry entries (?model= candidates).
+	Backends []string `json:"backends,omitempty"`
+}
+
+// ModelzHandler serves GET /modelz, the proxy handshake. ?model= reports
+// the entry a batch request with the same parameter would hit.
+func ModelzHandler(reg *Registry, def Backend, threshold float64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		b := selectWire(reg, def, r)
+		var names []string
+		if reg != nil {
+			names = reg.Names()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ModelzInfo{
+			WireVersion: wireVersion,
+			Engine:      b.Name(),
+			InputRes:    b.InputRes(),
+			Threshold:   threshold,
+			Backends:    names,
+		})
+	}
+}

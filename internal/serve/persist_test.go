@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"percival/internal/core"
+	"percival/internal/synth"
+)
+
+// TestRestoreCacheTruncatedEntries: a snapshot cut off mid-stream (the
+// crash-during-save shape) must restore every complete entry, report that
+// partial count, and return an error — never claim a cold start or hang.
+func TestRestoreCacheTruncatedEntries(t *testing.T) {
+	src := testServer(t, core.Options{}, Options{Workers: 1})
+	frames := synth.SampleFrames(67, 6)
+	for _, f := range frames {
+		src.Submit(f)
+	}
+	var buf bytes.Buffer
+	n, err := src.SnapshotCache(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames) {
+		t.Fatalf("snapshot wrote %d entries, want %d", n, len(frames))
+	}
+
+	const header = 10
+	keep := 3
+	// chop off the last entries plus half of entry keep, so the stream dies
+	// mid-entry
+	cut := buf.Bytes()[:header+keep*cacheEntryLn+cacheEntryLn/2]
+	dst := testServer(t, core.Options{}, Options{Workers: 1})
+	restored, err := dst.RestoreCache(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated snapshot restored without error")
+	}
+	if restored != keep {
+		t.Fatalf("restored %d entries from a snapshot truncated after %d", restored, keep)
+	}
+	if dst.CacheLen() != keep {
+		t.Fatalf("cache holds %d entries, want the %d complete ones", dst.CacheLen(), keep)
+	}
+
+	// a zero-length file — the artifact the missing fsync used to leave —
+	// must also fail loudly with a zero count
+	if k, err := dst.RestoreCache(bytes.NewReader(nil)); err == nil || k != 0 {
+		t.Fatalf("empty snapshot reported (%d, %v), want (0, error)", k, err)
+	}
+}
+
+// TestRestoreCacheOverlargeCount: a header whose count exceeds the actual
+// entry stream must restore what is there and error — and it must never
+// size an allocation off the untrusted count.
+func TestRestoreCacheOverlargeCount(t *testing.T) {
+	src := testServer(t, core.Options{}, Options{Workers: 1})
+	frames := synth.SampleFrames(71, 2)
+	for _, f := range frames {
+		src.Submit(f)
+	}
+	var buf bytes.Buffer
+	if _, err := src.SnapshotCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lying := append([]byte{}, buf.Bytes()...)
+	binary.LittleEndian.PutUint32(lying[6:10], 1<<31) // claims 2^31 entries
+
+	dst := testServer(t, core.Options{}, Options{Workers: 1})
+	restored, err := dst.RestoreCache(bytes.NewReader(lying))
+	if err == nil {
+		t.Fatal("over-large count accepted")
+	}
+	if restored != len(frames) {
+		t.Fatalf("restored %d entries, want the %d actually present", restored, len(frames))
+	}
+	if dst.CacheLen() != len(frames) {
+		t.Fatalf("cache holds %d entries, want %d", dst.CacheLen(), len(frames))
+	}
+}

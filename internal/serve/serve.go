@@ -458,21 +458,32 @@ func (s *Server) Submit(frame *imaging.Bitmap) Result {
 
 // Future is a pending asynchronous classification from SubmitAsync.
 type Future struct {
-	s   *Server
-	r   *request
-	res Result
+	s    *Server
+	r    *request
+	once sync.Once
+	res  Result
 }
 
-// Wait blocks until the verdict is available. Safe to call repeatedly; the
-// first call releases the underlying pooled request.
+// Wait blocks until the verdict is available. Safe to call repeatedly,
+// including from concurrent goroutines: resolution is exclusive (the pooled
+// request is consumed exactly once), and every caller returns the same
+// Result.
 func (f *Future) Wait() Result {
-	if f.r != nil {
-		<-f.r.done
-		f.res = f.s.result(f.r)
-		f.s.putRequest(f.r)
-		f.r = nil
-	}
+	f.once.Do(f.resolve)
 	return f.res
+}
+
+// resolve consumes the underlying pooled request. It must run at most once:
+// a second put of the same request would hand one pooled value to two
+// submissions.
+func (f *Future) resolve() {
+	if f.r == nil {
+		return
+	}
+	<-f.r.done
+	f.res = f.s.result(f.r)
+	f.s.putRequest(f.r)
+	f.r = nil
 }
 
 // SubmitAsync starts a classification and returns a Future, letting the

@@ -253,6 +253,44 @@ func TestSubmitAsyncOverlapsAndResolves(t *testing.T) {
 	}
 }
 
+// TestFutureWaitConcurrent: Wait is documented safe to call repeatedly,
+// which includes concurrently — resolution must be exclusive (the pooled
+// request is released exactly once) and every caller must observe the same
+// Result. Regression for a data race on the future's request/result fields;
+// `make race` runs this under -race.
+func TestFutureWaitConcurrent(t *testing.T) {
+	svc := testCore(t, core.Options{})
+	s, err := New(svc, Options{Workers: 2, MaxBatch: 4, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := synth.SampleFrames(31, 8)
+	const waiters = 4
+	for round := 0; round < 32; round++ {
+		fut := s.SubmitAsync(frames[round%len(frames)])
+		var wg sync.WaitGroup
+		results := make([]Result, waiters)
+		for g := 0; g < waiters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				results[g] = fut.Wait()
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < waiters; g++ {
+			if results[g] != results[0] {
+				t.Fatalf("round %d: waiter %d saw %+v, waiter 0 saw %+v",
+					round, g, results[g], results[0])
+			}
+		}
+		if results[0].Status == StatusShed {
+			t.Fatalf("round %d shed with no load", round)
+		}
+	}
+}
+
 // TestCloseDrainsAndSheds: Close resolves queued work, and submissions
 // after Close shed instead of panicking.
 func TestCloseDrainsAndSheds(t *testing.T) {
