@@ -7,7 +7,7 @@ GO ?= go
 # Per-fuzzer budget for the `fuzz` smoke target.
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race fuzz bench bench-all bench-infer
+.PHONY: check fmt vet build test race fuzz chaos bench bench-all bench-infer
 
 check: fmt vet build test race
 
@@ -37,11 +37,19 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/easylist
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dom
 
+# Fault-injection smoke: drives the fleet supervisor (eviction, redial,
+# hedging, local fallback) and the daemon's serving edge through flapping /
+# blackholed / slow peers, under the race detector. Tests opt in by carrying
+# the Chaos name prefix; the faultinject package's own tests ride along.
+chaos:
+	$(GO) test -race -run Chaos -count=1 -v ./internal/engine/ ./cmd/percival-serve/
+	$(GO) test -race -count=1 ./internal/faultinject/
+
 # Headline benchmark snapshot: runs the perf-trajectory benchmarks (FP32 and
-# INT8 inference, serve-vs-sync throughput, the shard-count sweep and the
-# two-tier remote-dispatch rotation at concurrency 8, stem GEMMs, resize,
-# training epoch) plus the INT8 accuracy-parity comparison, and writes
-# BENCH_5.json.
+# INT8 inference, serve-vs-sync throughput, the shard-count sweep, the
+# two-tier remote-dispatch rotation and the fault-injected fleet-health row
+# at concurrency 8, stem GEMMs, resize, training epoch) plus the INT8
+# accuracy-parity comparison, and writes BENCH_6.json.
 #
 # BENCH_SMOKE=1 instead runs one iteration of every inference/serving
 # headline benchmark (both engines, all shard counts, the sync baselines,
@@ -55,7 +63,7 @@ ifdef BENCH_SMOKE
 	$(GO) test -run=NONE -bench='BenchmarkGemm|BenchmarkQGemm' -benchtime=1x ./internal/tensor/
 	$(GO) build -o /dev/null ./cmd/percival-bench
 else
-	$(GO) run ./cmd/percival-bench -out BENCH_5.json
+	$(GO) run ./cmd/percival-bench -out BENCH_6.json
 endif
 
 # Full benchmark sweep (slow: regenerates every paper figure).

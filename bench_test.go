@@ -154,6 +154,14 @@ func BenchmarkServeRotation8x4(b *testing.B) { benchsuite.ServeRotation8x4(b) }
 // is the remote-dispatch proxy overhead.
 func BenchmarkServeRemote8x2(b *testing.B) { benchsuite.ServeRemote8x2(b) }
 
+// BenchmarkServeChaos8x2 is the fleet-health row: the remote topology plus
+// a spare replica under fault injection (one preferred peer blackholed and
+// evicted, one serving a 20% slow tail absorbed by hedging). It asserts the
+// self-healing contract — zero fail-open, steady-chaos p99 within 2x the
+// healthy-fleet p99, automatic re-admission — while measuring chaos-phase
+// throughput.
+func BenchmarkServeChaos8x2(b *testing.B) { benchsuite.ServeChaos8x2(b) }
+
 // BenchmarkServeSteady8x2 is the sharded steady-state benchmark and the
 // 0 allocs/op gate for the sharded dispatch hot path.
 func BenchmarkServeSteady8x2(b *testing.B) { benchsuite.ServeSteady8x2(b) }

@@ -11,15 +11,24 @@
 //	                      scores out: one forward pass per request — the
 //	                      wire a front daemon's engine.RemoteBackend rides
 //	GET  /modelz          engine/resolution handshake for remote proxies
-//	GET  /healthz         liveness + model/engine/shard info
-//	GET  /metrics         Prometheus text exposition (serve counters/histograms)
+//	GET  /healthz         liveness + model/engine/shard info; on a -peers
+//	                      front also the fleet supervisor's per-peer rows
+//	                      (state, evictions, redials, hedge wins, latency)
+//	GET  /metrics         Prometheus text exposition (serve counters/histograms,
+//	                      fleet per-peer gauges on a -peers front)
 //
 //	percival-serve                        # train a reduced-scale model, serve on :8093
 //	percival-serve -res 224 -int8         # paper-scale INT8 engine
 //	percival-serve -shards 4 -adaptive    # sharded dispatch, AIMD linger
 //	percival-serve -backend fp32 -int8    # quantize, but pin serving to FP32
-//	percival-serve -peers h1:8093,h2:8093 # front a fleet: shards dispatch to
-//	                                      # remote replicas over /classify/batch
+//	percival-serve -peers h1:8093,h2:8093 # front a self-healing fleet: shards
+//	                                      # dispatch to supervised remote
+//	                                      # replicas over /classify/batch,
+//	                                      # evicting/redialing dead peers and
+//	                                      # hedging slow ones (-evict-after,
+//	                                      # -redial-max, -hedge-quantile),
+//	                                      # falling back to the local model
+//	                                      # when no healthy peer remains
 //	percival-serve -cache-file v.pcvc     # verdict cache survives restarts
 //	percival-serve -model m.pcvl -res 32  # serve saved weights
 //	percival-serve -pretrained            # deterministic untrained weights (smoke)
@@ -72,9 +81,13 @@ func main() {
 		deadline    = flag.Duration("deadline", 500*time.Millisecond, "load-shed deadline (0 disables)")
 		cacheSize   = flag.Int("cache", 4096, "verdict cache entries (0 = default)")
 		cacheFile   = flag.String("cache-file", "", "verdict-cache snapshot path: loaded at startup, saved on shutdown")
-		peers       = flag.String("peers", "", "comma-separated peer percival-serve addresses (host:port); dispatch shards proxy to these remote replicas instead of the local engine")
+		peers       = flag.String("peers", "", "comma-separated peer percival-serve addresses (host:port); dispatch shards proxy to these supervised remote replicas instead of the local engine")
 		peerTimeout = flag.Duration("peer-timeout", 5*time.Second, "per-attempt timeout for remote peer calls")
-		peerRetries = flag.Int("peer-retries", 2, "retries per remote batch before failing open (0 = single attempt)")
+		peerRetries = flag.Int("peer-retries", 2, "retries per remote batch before failing over (0 = single attempt)")
+		evictAfter  = flag.Int("evict-after", 3, "consecutive chunk failures before a peer is evicted from the fleet")
+		redialMax   = flag.Duration("redial-max", 15*time.Second, "cap on the evicted-peer redial backoff (base 250ms, doubling)")
+		hedgeQ      = flag.Float64("hedge-quantile", 0.99, "latency quantile past which a chunk is hedged to a second peer (<=0 or >=1 disables)")
+		hedgeMax    = flag.Duration("hedge-max", 0, "ceiling on the quantile-derived hedge delay (0 = the peer chunk budget); pin near the latency SLO so hedges still fire when the fleet degrades")
 	)
 	flag.Parse()
 
@@ -89,24 +102,36 @@ func main() {
 	log.Printf("model ready: res=%d engine=%s (parity %.3f), %d KB weights",
 		svc.InputRes(), backend.Name(), svc.ParityAgreement(), svc.ModelSizeBytes()/1024)
 
-	// A -peers fleet replaces the dispatch engine with remote replicas: the
-	// registry gains one entry per peer (selectable via ?model=), and the
-	// serve shards replicate the pool round-robin so every peer owns its own
-	// dispatch lane. The local model keeps serving /classify/batch, /modelz
-	// and any ?model= request that names it (`local` below), so two fronts
-	// pointed at each other cannot proxy a batch in a cycle.
+	// A -peers fleet replaces the dispatch engine with supervised remote
+	// replicas: the registry gains one entry per peer (selectable via
+	// ?model=), and the serve shards replicate the fleet round-robin so
+	// every peer owns its own dispatch lane. The fleet health layer evicts
+	// peers after -evict-after consecutive failures, redials them in the
+	// background (backoff capped at -redial-max), hedges tail-latency chunks
+	// past -hedge-quantile, and falls back to the local model when no
+	// healthy peer remains — so a dying fleet degrades to local scoring, not
+	// to score-0 fail-open. The local model keeps serving /classify/batch,
+	// /modelz and any ?model= request that names it (`local` below), so two
+	// fronts pointed at each other cannot proxy a batch in a cycle.
 	reg := svc.Backends()
 	local := backend
+	var fleet *engine.Fleet
 	if *peers != "" {
 		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries)
 		if err != nil {
 			log.Fatal("percival-serve: ", err)
 		}
-		pool, err := engine.NewRemotePool(remotes)
+		fleet, err = engine.NewFleet(remotes, engine.FleetOptions{
+			EvictAfter:    *evictAfter,
+			RedialMax:     *redialMax,
+			HedgeQuantile: *hedgeQ,
+			HedgeMax:      *hedgeMax,
+			Fallback:      local,
+		})
 		if err != nil {
 			log.Fatal("percival-serve: ", err)
 		}
-		backend = pool
+		backend = fleet
 		if *shards < len(remotes) {
 			log.Printf("raising -shards %d -> %d so every peer serves a dispatch shard",
 				*shards, len(remotes))
@@ -154,7 +179,7 @@ func main() {
 	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, local))
 	mux.Handle("GET /modelz", engine.ModelzHandler(reg, local, svc.Threshold()))
 	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name()))
-	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg))
+	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet))
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})
@@ -173,6 +198,11 @@ func main() {
 		}
 		cancel()
 		srv.Close()
+		if fleet != nil {
+			// stop the redial state machines before exit (the local fallback
+			// is svc's engine and is closed with the service)
+			fleet.Close()
+		}
 		if *cacheFile != "" {
 			if n, err := saveCache(srv, *cacheFile); err != nil {
 				log.Printf("cache snapshot %s: %v", *cacheFile, err)
@@ -421,8 +451,10 @@ func decodeFrame(r *http.Request, body []byte) (*imaging.Bitmap, error) {
 // engine counters — including Errors, the fail-open count that is the only
 // sign a remote peer is down (the service itself keeps answering) — and
 // the registry entries' counters, which carry the ?model= direct-path and
-// local /classify/batch traffic.
-func metricsHandler(srv *serve.Server, reg *engine.Registry) http.HandlerFunc {
+// local /classify/batch traffic. A -peers front also exposes the fleet
+// supervisor: per-peer state/eviction/redial/hedge counters and latency
+// EWMAs, plus the fleet-wide hedge and local-fallback totals.
+func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		io.WriteString(w, srv.Metrics().Expose())
@@ -436,6 +468,20 @@ func metricsHandler(srv *serve.Server, reg *engine.Registry) http.HandlerFunc {
 				fmt.Fprintf(w, "percival_engine_backend_frames_total{backend=%q} %d\n", name, st.Frames)
 				fmt.Fprintf(w, "percival_engine_backend_errors_total{backend=%q} %d\n", name, st.Errors)
 			}
+		}
+		if fleet == nil {
+			return
+		}
+		fmt.Fprintf(w, "percival_fleet_hedges_total %d\n", fleet.Hedges())
+		fmt.Fprintf(w, "percival_fleet_hedge_wins_total %d\n", fleet.HedgeWins())
+		fmt.Fprintf(w, "percival_fleet_fallbacks_total %d\n", fleet.Fallbacks())
+		for _, ph := range fleet.PeerHealth() {
+			fmt.Fprintf(w, "percival_fleet_peer_state{peer=%q} %d\n", ph.Peer, ph.StateCode)
+			fmt.Fprintf(w, "percival_fleet_peer_consec_fails{peer=%q} %d\n", ph.Peer, ph.ConsecFails)
+			fmt.Fprintf(w, "percival_fleet_peer_evictions_total{peer=%q} %d\n", ph.Peer, ph.Evictions)
+			fmt.Fprintf(w, "percival_fleet_peer_redials_total{peer=%q} %d\n", ph.Peer, ph.Redials)
+			fmt.Fprintf(w, "percival_fleet_peer_hedge_wins_total{peer=%q} %d\n", ph.Peer, ph.HedgeWins)
+			fmt.Fprintf(w, "percival_fleet_peer_latency_ewma_ms{peer=%q} %g\n", ph.Peer, ph.LatencyEWMAMS)
 		}
 	}
 }
@@ -460,18 +506,22 @@ func engineErrors(srv *serve.Server, reg *engine.Registry) int64 {
 // healthHandler reports liveness and engine configuration. EngineErrors
 // sums the fail-open counts across shard replicas and registry entries:
 // nonzero means some verdicts are score-0 "render it" placeholders, not
-// model output.
+// model output. On a -peers front, Peers carries the fleet supervisor's
+// per-peer rows — state, failure streak, eviction/redial/hedge counters
+// and the latency EWMA — so an evicted peer (and its automatic
+// re-admission) is visible from outside without scraping /metrics.
 func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) http.HandlerFunc {
 	type health struct {
-		OK           bool    `json:"ok"`
-		Engine       string  `json:"engine"`
-		Shards       int     `json:"shards"`
-		InputRes     int     `json:"input_res"`
-		Threshold    float64 `json:"threshold"`
-		CacheLen     int     `json:"cache_len"`
-		Submitted    int64   `json:"submitted"`
-		Shed         int64   `json:"shed"`
-		EngineErrors int64   `json:"engine_errors"`
+		OK           bool                    `json:"ok"`
+		Engine       string                  `json:"engine"`
+		Shards       int                     `json:"shards"`
+		InputRes     int                     `json:"input_res"`
+		Threshold    float64                 `json:"threshold"`
+		CacheLen     int                     `json:"cache_len"`
+		Submitted    int64                   `json:"submitted"`
+		Shed         int64                   `json:"shed"`
+		EngineErrors int64                   `json:"engine_errors"`
+		Peers        []engine.PeerHealthInfo `json:"peers,omitempty"`
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		m := srv.Metrics()
@@ -486,6 +536,7 @@ func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) h
 			Submitted:    m.Submitted.Load(),
 			Shed:         m.Shed.Load(),
 			EngineErrors: engineErrors(srv, reg),
+			Peers:        srv.FleetHealth(),
 		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"percival/internal/core"
 	"percival/internal/engine"
+	"percival/internal/faultinject"
 	"percival/internal/imaging"
 	"percival/internal/serve"
 	"percival/internal/synth"
@@ -29,15 +30,15 @@ func testService(t testing.TB) *core.Percival {
 }
 
 // testFrontend stands up the daemon's HTTP surface over a serve.Server the
-// way main wires it.
-func testFrontend(t testing.TB, svc *core.Percival, srv *serve.Server, reg *engine.Registry, backend engine.Backend) *httptest.Server {
+// way main wires it. fleet is nil unless the backend is a supervised fleet.
+func testFrontend(t testing.TB, svc *core.Percival, srv *serve.Server, reg *engine.Registry, backend engine.Backend, fleet *engine.Fleet) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", classifyHandler(srv, reg, backend))
 	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, backend))
 	mux.Handle("GET /modelz", engine.ModelzHandler(reg, backend, svc.Threshold()))
 	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name()))
-	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg))
+	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet))
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
@@ -160,7 +161,7 @@ func TestTwoTierMatchesInProcessDispatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	front := testFrontend(t, svc, srv, reg, pool)
+	front := testFrontend(t, svc, srv, reg, pool, nil)
 
 	frames := synth.SampleFrames(41, 8)
 	for i, f := range frames {
@@ -260,7 +261,7 @@ func TestClassifyBatchEndpointRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	front := testFrontend(t, svc, srv, svc.Backends(), svc.Engine())
+	front := testFrontend(t, svc, srv, svc.Backends(), svc.Engine(), nil)
 	resp, err := http.Post(front.URL+"/classify/batch", "application/octet-stream",
 		bytes.NewReader([]byte("not a frame batch")))
 	if err != nil {
@@ -322,5 +323,120 @@ func TestSaveCacheSurvivesRoundTrip(t *testing.T) {
 	}
 	if r := srv2.Submit(frames[0]); r.Status != serve.StatusCached {
 		t.Fatalf("restored verdict status %v, want cached", r.Status)
+	}
+}
+
+// TestChaosSmokeZeroFailOpen is the daemon-level chaos smoke (`make
+// chaos`): a front whose shards dispatch into a supervised fleet of two
+// peers, one of them flapping (up -> blackhole -> up) the whole time. Every
+// /classify answer must be a real verdict bit-identical to in-process
+// classification — zero score-0 fail-opens, zero sheds — and /healthz must
+// expose the supervisor's per-peer rows.
+func TestChaosSmokeZeroFailOpen(t *testing.T) {
+	svc := testService(t)
+	reg := svc.Backends()
+
+	peers := make([]*httptest.Server, 2)
+	remotes := make([]*engine.RemoteBackend, 2)
+	var flap *faultinject.Injector
+	for i := range peers {
+		rep := svc.Engine().Replicate()
+		mux := http.NewServeMux()
+		mux.Handle("POST /classify/batch", engine.BatchHandler(nil, rep))
+		mux.Handle("GET /modelz", engine.ModelzHandler(nil, rep, svc.Threshold()))
+		inj := faultinject.NewInjector(int64(i))
+		peers[i] = httptest.NewServer(faultinject.Middleware(inj, mux))
+		defer peers[i].Close()
+		if i == 1 {
+			flap = inj
+		}
+		rb, err := engine.NewRemote(peers[i].URL, engine.RemoteOptions{
+			ExpectRes: svc.InputRes(),
+			Timeout:   200 * time.Millisecond,
+			Retries:   0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		remotes[i] = rb
+	}
+	fleet, err := engine.NewFleet(remotes, engine.FleetOptions{
+		EvictAfter: 2,
+		RedialBase: 20 * time.Millisecond,
+		RedialMax:  100 * time.Millisecond,
+		Fallback:   svc.Engine(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	srv, err := serve.New(svc, serve.Options{Shards: 2, MaxBatch: 4, Backend: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	front := testFrontend(t, svc, srv, reg, fleet, fleet)
+
+	// flap peer 1 for the whole test: 150ms up, 400ms dead, repeat
+	flap.SetSchedule(true,
+		faultinject.Phase{Fault: faultinject.Fault{}, For: 150 * time.Millisecond},
+		faultinject.Phase{Fault: faultinject.Fault{Blackhole: true}, For: 400 * time.Millisecond},
+	)
+
+	frames := synth.SampleFrames(59, 6)
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	n := 0
+	for time.Now().Before(deadline) {
+		f := frames[n%len(frames)]
+		resp, v := postFrame(t,
+			fmt.Sprintf("%s/classify?w=%d&h=%d", front.URL, f.W, f.H),
+			"application/octet-stream", f.Pix)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (a flapping peer must never surface)", n, resp.StatusCode)
+		}
+		if want := svc.Classify(f); v.Score != want {
+			t.Fatalf("request %d: score %v, want %v (fail-open leaked through the fleet)", n, v.Score, want)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no requests issued")
+	}
+	if st := fleet.Stats(); st.Errors != 0 {
+		t.Fatalf("fleet failed open under flap: %+v", st)
+	}
+	for _, bs := range srv.BackendStats() {
+		if bs.Errors != 0 {
+			t.Fatalf("shard replica failed open under flap: %+v", bs)
+		}
+	}
+
+	// the supervisor is visible from outside: /healthz carries per-peer rows
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Peers []engine.PeerHealthInfo `json:"peers"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Peers) != 2 {
+		t.Fatalf("healthz peers %+v, want 2 rows", h.Peers)
+	}
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp bytes.Buffer
+	if _, err := exp.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if !bytes.Contains(exp.Bytes(), []byte("percival_fleet_peer_state")) {
+		t.Fatal("/metrics does not expose the fleet supervisor gauges")
 	}
 }

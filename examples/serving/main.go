@@ -8,7 +8,11 @@
 // front serve.Server whose dispatch shards proxy every forward pass to two
 // backend percival-serve replicas over HTTP (engine.RemoteBackend riding
 // POST /classify/batch — spawned in-process here via httptest, `-peers`
-// on a real deployment), with fail-open shedding when a peer dies.
+// on a real deployment), supervised by an engine.Fleet. When a peer dies
+// its traffic fails over to the surviving replica (or the local model as a
+// last resort), the dead peer is evicted from rotation, and a background
+// redialer re-admits it once /modelz answers again — verdicts stay
+// identical throughout instead of failing open.
 package main
 
 import (
@@ -112,11 +116,11 @@ func main() {
 
 	// --- Two-tier topology: the same workload, but the front's dispatch
 	// shards proxy to two backend model processes over the /classify/batch
-	// wire. Each shard pins its own remote replica (round-robin over the
-	// peer pool), and verdicts are identical to in-process dispatch because
-	// the peers run the exact same pre-processing and forward pass.
+	// wire, supervised by a self-healing fleet. Each shard pins a preferred
+	// peer (round-robin), and verdicts are identical to in-process dispatch
+	// because the peers run the exact same pre-processing and forward pass.
 	fmt.Println()
-	fmt.Println("two-tier: front serve.Server -> 2 remote percival-serve backends")
+	fmt.Println("two-tier: front serve.Server -> 2 remote percival-serve backends (fleet)")
 	peers := make([]*engine.RemoteBackend, 2)
 	backendSrvs := make([]*httptest.Server, 2)
 	for i := range peers {
@@ -132,16 +136,27 @@ func main() {
 		}
 		peers[i] = rb
 	}
-	pool, err := engine.NewRemotePool(peers)
+	// The fleet health-gates the peers: two consecutive chunk failures
+	// evict a peer from rotation (re-routing its shard to the survivor),
+	// a background redialer probes /modelz with doubling backoff until it
+	// answers again, and the local model catches chunks if every peer is
+	// out. -evict-after / -redial-max / -hedge-quantile on percival-serve.
+	fleet, err := engine.NewFleet(peers, engine.FleetOptions{
+		EvictAfter: 2,
+		RedialBase: 500 * time.Millisecond,
+		RedialMax:  2 * time.Second,
+		Fallback:   svc.Engine(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer fleet.Close()
 	front, err := serve.New(svc, serve.Options{
 		MaxBatch: 16,
 		Shards:   2,
 		Policy:   serve.NewAIMDPolicy(),
 		Deadline: time.Second,
-		Backend:  pool,
+		Backend:  fleet,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -161,25 +176,32 @@ func main() {
 		len(frames)-mismatches, len(frames))
 	for i, st := range front.BackendStats() {
 		fmt.Printf("  shard %d      %d frames in %d proxied passes (%s)\n",
-			i, st.Frames, st.Batches, pool.Name())
+			i, st.Frames, st.Batches, fleet.Name())
 	}
 
-	// kill one backend: traffic routed to it fails open (score 0, render
-	// the frame) instead of blocking the page; the other shard keeps
-	// classifying. Frames route to shards by content hash, so submit until
-	// one lands on the dead peer's shard (bounded — this is a demo, not a
-	// coin flip).
+	// Kill one backend: the supervisor fails its chunks over to the
+	// surviving peer (verdicts stay identical — nothing fails open), trips
+	// peer 0 to evicted after two consecutive failures, and keeps probing
+	// it in the background. Frames route to shards by content hash, so
+	// submit a spread of fresh frames to be sure some land on the dead
+	// peer's preferred lane.
 	backendSrvs[0].Close()
-	errs := func() int64 {
-		var n int64
-		for _, st := range front.BackendStats() {
-			n += st.Errors
-		}
-		return n
-	}
-	for i := 0; i < 64 && errs() == 0; i++ {
+	mismatches = 0
+	for i := 0; i < 32; i++ {
 		fresh, _ := g.Sample()
-		front.Submit(fresh)
+		res := front.Submit(fresh)
+		if want := svc.Classify(fresh); res.Score != want {
+			mismatches++
+		}
 	}
-	fmt.Printf("  peer 0 down: %d dispatches failed open (verdict unknown, frame rendered)\n", errs())
+	var failedOpen int64
+	for _, st := range front.BackendStats() {
+		failedOpen += st.Errors
+	}
+	fmt.Printf("  peer 0 down: 32/32 frames re-routed, %d verdict mismatches, %d failed open\n",
+		mismatches, failedOpen)
+	for _, ph := range fleet.PeerHealth() {
+		fmt.Printf("  %-24s %s (evictions %d, %d frames served)\n",
+			ph.Peer, ph.State, ph.Evictions, ph.Frames)
+	}
 }

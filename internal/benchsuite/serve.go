@@ -1,6 +1,7 @@
 package benchsuite
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -10,6 +11,8 @@ import (
 
 	"percival/internal/core"
 	"percival/internal/engine"
+	"percival/internal/faultinject"
+	"percival/internal/metrics"
 	"percival/internal/serve"
 	"percival/internal/squeezenet"
 	"percival/internal/synth"
@@ -247,8 +250,179 @@ func ServeRemote8x2(b *testing.B) {
 		errs += st.Errors
 	}
 	if errs > 0 {
-		b.Fatalf("remote dispatch failed open %d times during the benchmark", errs)
+		failf(b, "remote dispatch failed open %d times during the benchmark", errs)
 	}
+	reportFPS(b, int64(b.N)*ServeConcurrency*serveRotationDistinct)
+}
+
+// failf fails a benchmark with a formatted message. Under `go test` that is
+// plain b.Fatalf; under testing.Benchmark (percival-bench) there is no test
+// runner attached to b — Name() is empty and Fatalf nil-derefs inside the
+// testing package — so panic with the message instead, which still aborts
+// the snapshot run but legibly.
+func failf(b *testing.B, format string, args ...any) {
+	if b.Name() == "" {
+		panic("benchsuite: " + fmt.Sprintf(format, args...))
+	}
+	b.Fatalf(format, args...)
+}
+
+// ServeChaos8x2 is the fleet-health row: the ServeRemote8x2 topology plus a
+// third spare replica, driven through fault injection. Peer 0 (a preferred
+// shard lane) is blackholed — the supervisor must evict it and re-route its
+// shard's traffic; peer 1 serves 20% of its requests ~100ms slow — the
+// hedger's job; peer 2 is the healthy spare. The row measures chaos-phase
+// throughput and asserts the fleet-health acceptance contract:
+//
+//   - zero requests block or shed, and zero chunks fail open (a real
+//     verdict for every frame while >= 1 healthy replica remains),
+//   - steady-chaos p99 (dead peer evicted, slow peer hedged) within 2x the
+//     healthy-fleet p99 measured on the same run,
+//   - the evicted peer rejoins automatically once healed, visible in the
+//     PeerHealth surface /healthz renders.
+func ServeChaos8x2(b *testing.B) {
+	svc := PaperService(false)
+	const nPeers = 3
+	injs := make([]*faultinject.Injector, nPeers)
+	remotes := make([]*engine.RemoteBackend, nPeers)
+	for i := range remotes {
+		rep := svc.Engine().Replicate()
+		rep.Warm(16)
+		mux := http.NewServeMux()
+		mux.Handle("POST /classify/batch", engine.BatchHandler(nil, rep))
+		mux.Handle("GET /modelz", engine.ModelzHandler(nil, rep, svc.Threshold()))
+		injs[i] = faultinject.NewInjector(int64(i + 1))
+		ts := httptest.NewServer(faultinject.Middleware(injs[i], mux))
+		defer ts.Close()
+		// The per-attempt budget must clear a full 16-frame paper-scale
+		// forward pass (~0.5s) with contention headroom, or healthy peers
+		// time out and get evicted alongside the blackholed one.
+		rb, err := engine.NewRemote(ts.URL, engine.RemoteOptions{
+			ExpectRes: svc.InputRes(),
+			Timeout:   2 * time.Second,
+			Retries:   0,
+		})
+		if err != nil {
+			failf(b, "%v", err)
+		}
+		remotes[i] = rb
+	}
+	// HedgeMax is the row's latency SLO: without the ceiling the EWMA
+	// trigger chases the congestion it should be cutting (queue delay
+	// inflates mean+dev until hedges never fire) and the slow peer's tail
+	// sails past the 2x gate.
+	fleet, err := engine.NewFleet(remotes, engine.FleetOptions{
+		EvictAfter:    2,
+		RedialBase:    25 * time.Millisecond,
+		RedialMax:     100 * time.Millisecond,
+		HedgeQuantile: 0.99,
+		HedgeMax:      400 * time.Millisecond,
+	})
+	if err != nil {
+		failf(b, "%v", err)
+	}
+	defer fleet.Close()
+	srv, err := serve.New(svc, serve.Options{
+		MaxBatch: 16,
+		Shards:   2,
+		Policy:   serve.NewAIMDPolicy(),
+		Backend:  fleet,
+	})
+	if err != nil {
+		failf(b, "%v", err)
+	}
+	defer srv.Close()
+	srv.Warm()
+
+	frames := synth.SampleFrames(19, serveRotationDistinct)
+	var notOK atomic.Int64 // shed or otherwise verdict-less submissions
+	var latMu sync.Mutex
+	runWindow := func(lat *metrics.Latencies) {
+		srv.ResetCache()
+		var wg sync.WaitGroup
+		for c := 0; c < ServeConcurrency; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := range frames {
+					start := time.Now()
+					r := srv.Submit(frames[(c+i)%len(frames)])
+					took := float64(time.Since(start).Nanoseconds()) / 1e6
+					if r.Status == serve.StatusShed {
+						notOK.Add(1)
+					}
+					if lat != nil {
+						latMu.Lock()
+						lat.Add(took)
+						latMu.Unlock()
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	runWindow(nil) // warm pools, arenas, HTTP connections, latency EWMAs
+
+	// phase 1: healthy fleet — the p99 baseline, same window count as the
+	// measured chaos phase
+	healthy := &metrics.Latencies{}
+	for i := 0; i < b.N; i++ {
+		runWindow(healthy)
+	}
+
+	// phase 2: inject the chaos — preferred peer 0 dies outright, peer 1
+	// serves a poisoned 20% tail — and run untimed transition windows until
+	// the supervisor has evicted the dead peer (its shard's traffic
+	// re-routes from the very first failure; the transient is excluded from
+	// the steady-chaos p99, not from the no-fail-open contract)
+	injs[0].Set(faultinject.Fault{Blackhole: true})
+	injs[1].Set(faultinject.Fault{Latency: 100 * time.Millisecond, LatencyRate: 0.2})
+	evicted := func() bool {
+		return fleet.PeerHealth()[0].StateCode == engine.PeerEvicted ||
+			fleet.PeerHealth()[0].StateCode == engine.PeerRedialing
+	}
+	for i := 0; i < 50 && !evicted(); i++ {
+		runWindow(nil)
+	}
+	if !evicted() {
+		failf(b, "dead peer not evicted after 50 windows: %+v", fleet.PeerHealth())
+	}
+
+	// phase 3: steady chaos — the timed, measured region
+	chaos := &metrics.Latencies{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runWindow(chaos)
+	}
+	b.StopTimer()
+
+	// the acceptance contract
+	if n := notOK.Load(); n != 0 {
+		failf(b, "%d submissions shed under chaos, want every request answered", n)
+	}
+	errs := fleet.Stats().Errors
+	for _, st := range srv.BackendStats() {
+		errs += st.Errors
+	}
+	if errs != 0 {
+		failf(b, "%d chunks failed open with healthy replicas remaining", errs)
+	}
+	hp99, cp99 := healthy.Percentile(99), chaos.Percentile(99)
+	if cp99 > 2*hp99 {
+		failf(b, "chaos p99 %.1fms > 2x healthy p99 %.1fms", cp99, hp99)
+	}
+	// the dead peer rejoins automatically once healed
+	injs[0].Set(faultinject.Fault{})
+	deadline := time.Now().Add(10 * time.Second)
+	for fleet.PeerHealth()[0].StateCode != engine.PeerHealthy {
+		if time.Now().After(deadline) {
+			failf(b, "healed peer not re-admitted: %+v", fleet.PeerHealth())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	b.ReportMetric(cp99/hp99, "p99-ratio")
+	b.ReportMetric(cp99, "p99-ms")
 	reportFPS(b, int64(b.N)*ServeConcurrency*serveRotationDistinct)
 }
 

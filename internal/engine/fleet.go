@@ -1,0 +1,683 @@
+package engine
+
+// Fleet is the self-healing control plane over a set of RemoteBackend
+// peers. RemotePool (remote.go) routes blindly: a dead peer sheds its
+// shard's traffic (score 0) until a human restarts something, retries are
+// the peer's own problem, and a merely slow peer poisons its shard's tail
+// unchecked. Fleet closes those gaps with three mechanisms:
+//
+//   - Health-gated eviction: every chunk outcome feeds a per-peer
+//     supervisor. EvictAfter consecutive chunk failures trip the peer from
+//     healthy to evicted — it stops receiving traffic instantly, and the
+//     chunk that tripped it (plus everything after) re-routes to the next
+//     healthy peer, then to the local Fallback backend, and only fails
+//     open when nothing at all can score frames.
+//
+//   - Redial state machine: eviction starts a background redialer that
+//     probes the peer with a fresh /modelz handshake on an exponential
+//     backoff ladder (RedialBase doubling up to RedialMax, +/-50% jitter).
+//     The peer is re-admitted only after a handshake that still speaks the
+//     right wire version at the right resolution — a peer that came back
+//     as something else stays out.
+//
+//     healthy --EvictAfter consecutive failures--> evicted
+//     evicted --backoff elapsed--> redialing --handshake ok--> healthy
+//     redialing --handshake failed--> evicted (backoff doubles)
+//
+//   - Hedged requests: each peer's chunk latency feeds an EWMA (mean +
+//     mean absolute deviation). When a chunk has waited past the peer's
+//     HedgeQuantile-derived delay, the same chunk is re-issued to a second
+//     healthy peer; the first success wins and the loser is canceled via
+//     context propagation through post(). A slow peer costs one hedge
+//     instead of a tail-latency spike.
+//
+// Fleet is an ordinary Backend: serve shards call Replicate and get a
+// replica pinned to a preferred peer (round-robin, shard-per-peer like
+// RemotePool) with its own Stats counters, while all replicas share one
+// health table — an eviction observed by one shard protects every shard.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"percival/internal/imaging"
+	"percival/internal/metrics"
+)
+
+// PeerState is a supervised peer's position in the health state machine.
+type PeerState int32
+
+const (
+	// PeerHealthy: the peer receives traffic.
+	PeerHealthy PeerState = iota
+	// PeerEvicted: tripped by consecutive failures; no traffic until the
+	// redialer re-admits it. The redial backoff is counting down.
+	PeerEvicted
+	// PeerRedialing: a re-admission handshake is in flight right now.
+	PeerRedialing
+)
+
+// String names the state for /healthz and logs.
+func (s PeerState) String() string {
+	switch s {
+	case PeerHealthy:
+		return "healthy"
+	case PeerEvicted:
+		return "evicted"
+	case PeerRedialing:
+		return "redialing"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// FleetOptions tunes the supervisor. The zero value gets defaults from
+// NewFleet.
+type FleetOptions struct {
+	// EvictAfter is how many consecutive chunk failures trip a peer to
+	// evicted (default 3). Lower is jumpier, higher tolerates more flap.
+	EvictAfter int
+	// RedialBase is the first redial backoff after an eviction (default
+	// 250ms); it doubles per failed probe up to RedialMax (default 15s),
+	// with +/-50% jitter on every sleep.
+	RedialBase time.Duration
+	RedialMax  time.Duration
+	// HedgeQuantile derives the hedge delay from each peer's latency EWMA:
+	// a chunk waiting past approximately this quantile of the peer's
+	// recent latency is re-issued to a second healthy peer (default 0.99;
+	// <= 0 or >= 1 disables hedging). Hedging needs at least two healthy
+	// peers and a few observed chunks to arm.
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay so a fast fleet does not hedge every
+	// chunk on scheduler noise (default 2ms).
+	HedgeMin time.Duration
+	// HedgeMax caps the hedge delay (default 0: the peer's whole chunk
+	// budget). The EWMA trigger chases whatever latency it observes — under
+	// congestion or a degrading peer the derived delay inflates until
+	// hedges never fire — so operators with a latency SLO should pin the
+	// ceiling near it.
+	HedgeMax time.Duration
+	// Fallback, when set, scores chunks locally when no healthy peer
+	// remains — the "-peers front also holds a model" deployment. Without
+	// it an all-evicted fleet fails open, same as RemotePool.
+	Fallback Backend
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 3
+	}
+	if o.RedialBase <= 0 {
+		o.RedialBase = 250 * time.Millisecond
+	}
+	if o.RedialMax <= 0 {
+		o.RedialMax = 15 * time.Second
+	}
+	if o.HedgeQuantile == 0 {
+		o.HedgeQuantile = 0.99
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 2 * time.Millisecond
+	}
+	return o
+}
+
+// fleetPeer is one supervised peer: the transport plus its health state.
+type fleetPeer struct {
+	b *RemoteBackend
+
+	state       atomic.Int32 // PeerState
+	consecFails atomic.Int64
+	// consecCancels counts hedge losses where this peer's arm was canceled
+	// before producing a real outcome. A blackholed peer that is always
+	// rescued by the hedge never *fails* (canceled arms are not health
+	// signals), so once this streak reaches EvictAfter the peer's next
+	// chunk runs unhedged — a live probe that must genuinely succeed or
+	// genuinely fail, restoring eviction liveness.
+	consecCancels atomic.Int64
+	evictions     metrics.Counter
+	redials       metrics.Counter // probe attempts (successful or not)
+	hedgeWins     metrics.Counter // chunks this peer rescued as the hedge
+	lat           *metrics.EWMA   // chunk latency, milliseconds
+}
+
+func (p *fleetPeer) healthy() bool {
+	return PeerState(p.state.Load()) == PeerHealthy
+}
+
+// recordSuccess resets the failure streaks, feeds the latency model, and
+// charges the scored frames to the peer's own counters (fleet dispatch goes
+// through tryChunk, below the peer's InferBatchInto accounting).
+func (p *fleetPeer) recordSuccess(d time.Duration, nframes int) {
+	p.consecFails.Store(0)
+	p.consecCancels.Store(0)
+	p.lat.Observe(float64(d.Nanoseconds()) / 1e6)
+	p.b.frames.Add(int64(nframes))
+}
+
+// PeerHealthInfo is one peer's row of the fleet health snapshot — the
+// /healthz and /metrics surface.
+type PeerHealthInfo struct {
+	Peer          string    `json:"peer"`
+	State         string    `json:"state"`
+	StateCode     PeerState `json:"state_code"`
+	ConsecFails   int64     `json:"consec_fails"`
+	Evictions     int64     `json:"evictions"`
+	Redials       int64     `json:"redials"`
+	HedgeWins     int64     `json:"hedge_wins"`
+	LatencyEWMAMS float64   `json:"latency_ewma_ms"`
+	LatencyDevMS  float64   `json:"latency_dev_ms"`
+	Frames        int64     `json:"frames"`
+	Errors        int64     `json:"errors"`
+}
+
+// HealthReporter is implemented by backends that supervise peers; the
+// serving layer and the daemon's health endpoints discover fleet state
+// through it without a concrete-type dependency.
+type HealthReporter interface {
+	PeerHealth() []PeerHealthInfo
+}
+
+// Fleet fronts supervised remote peers as one Backend. Safe for concurrent
+// use; replicas share the health table.
+type Fleet struct {
+	opts    FleetOptions
+	peers   []*fleetPeer
+	next    atomic.Int64 // Replicate pinning + unpinned routing cursor
+	reroute atomic.Int64 // spreads displaced-lane traffic across survivors
+	zHi     float64      // sigma multiplier derived from HedgeQuantile
+
+	hedges    metrics.Counter // hedges issued
+	hedgeWins metrics.Counter // hedges that beat the primary
+	fallbacks metrics.Counter // chunks scored by the local Fallback
+
+	bufs    sync.Pool // *[]byte encode buffers
+	scores  sync.Pool // *[]float64 hedge scratch buffers
+	closed  chan struct{}
+	closeMu sync.Mutex
+	redials sync.WaitGroup
+
+	batches atomic.Int64
+	frames  atomic.Int64
+	errors  atomic.Int64
+}
+
+// NewFleet builds a supervised fleet over peers (same input resolution,
+// like NewRemotePool) and starts its control plane.
+func NewFleet(peers []*RemoteBackend, opts FleetOptions) (*Fleet, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("engine: fleet needs at least one peer")
+	}
+	opts = opts.withDefaults()
+	res := peers[0].InputRes()
+	for _, p := range peers[1:] {
+		if p.InputRes() != res {
+			return nil, fmt.Errorf("engine: fleet mixes resolutions %d and %d (%s)",
+				res, p.InputRes(), p.Name())
+		}
+	}
+	if opts.Fallback != nil && opts.Fallback.InputRes() != res {
+		return nil, fmt.Errorf("engine: fleet fallback serves res %d, peers serve %d",
+			opts.Fallback.InputRes(), res)
+	}
+	f := &Fleet{
+		opts:   opts,
+		closed: make(chan struct{}),
+	}
+	// Quantile -> sigma multiplier through the normal inverse CDF, with the
+	// EWMA's mean-absolute-deviation scaled to sigma (~1.25x for normal
+	// samples). An approximation — chunk latency is not normal — but the
+	// hedge delay only needs to sit past the bulk of the distribution.
+	if q := opts.HedgeQuantile; q > 0.5 && q < 1 {
+		f.zHi = 1.25 * math.Sqrt2 * math.Erfinv(2*q-1)
+	}
+	f.peers = make([]*fleetPeer, len(peers))
+	for i, b := range peers {
+		f.peers[i] = &fleetPeer{b: b, lat: metrics.NewEWMA(0.2)}
+	}
+	return f, nil
+}
+
+// Name identifies the fleet and its size.
+func (f *Fleet) Name() string { return fmt.Sprintf("fleet(%d)", len(f.peers)) }
+
+// InputRes is the shared peer resolution.
+func (f *Fleet) InputRes() int { return f.peers[0].b.InputRes() }
+
+// Peers returns the supervised transports (stats introspection).
+func (f *Fleet) Peers() []*RemoteBackend {
+	out := make([]*RemoteBackend, len(f.peers))
+	for i, p := range f.peers {
+		out[i] = p.b
+	}
+	return out
+}
+
+// PeerHealth snapshots every peer's supervisor state.
+func (f *Fleet) PeerHealth() []PeerHealthInfo {
+	out := make([]PeerHealthInfo, len(f.peers))
+	for i, p := range f.peers {
+		st := p.b.Stats()
+		state := PeerState(p.state.Load())
+		out[i] = PeerHealthInfo{
+			Peer:          p.b.Peer(),
+			State:         state.String(),
+			StateCode:     state,
+			ConsecFails:   p.consecFails.Load(),
+			Evictions:     p.evictions.Load(),
+			Redials:       p.redials.Load(),
+			HedgeWins:     p.hedgeWins.Load(),
+			LatencyEWMAMS: p.lat.Value(),
+			LatencyDevMS:  p.lat.Deviation(),
+			Frames:        st.Frames,
+			Errors:        st.Errors,
+		}
+	}
+	return out
+}
+
+// Hedges reports the number of hedged chunks issued.
+func (f *Fleet) Hedges() int64 { return f.hedges.Load() }
+
+// HedgeWins reports how many hedges beat their primary.
+func (f *Fleet) HedgeWins() int64 { return f.hedgeWins.Load() }
+
+// Fallbacks reports chunks scored by the local Fallback backend.
+func (f *Fleet) Fallbacks() int64 { return f.fallbacks.Load() }
+
+// Stats aggregates the fleet's own dispatch counters (replicas keep their
+// own, like every Replicate).
+func (f *Fleet) Stats() Stats {
+	return Stats{Batches: f.batches.Load(), Frames: f.frames.Load(), Errors: f.errors.Load()}
+}
+
+// InferBatchInto dispatches chunks through the supervisor, starting at the
+// next peer round-robin.
+func (f *Fleet) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	pref := int(f.next.Add(1)-1) % len(f.peers)
+	return f.inferBatch(pref, frames, out, &f.batches, &f.frames, &f.errors)
+}
+
+// Replicate pins a replica to the next peer round-robin: N serve shards
+// over N peers yields a dispatch lane per peer, exactly like RemotePool —
+// but the lane fails over instead of failing open.
+func (f *Fleet) Replicate() Backend {
+	return &fleetReplica{f: f, pref: int(f.next.Add(1)-1) % len(f.peers)}
+}
+
+// Warm pings every peer (logging and counting dead ones — see
+// RemoteBackend.Warm) and warms the fallback's arenas.
+func (f *Fleet) Warm(maxBatch int) {
+	for _, p := range f.peers {
+		p.b.Warm(maxBatch)
+	}
+	if f.opts.Fallback != nil {
+		f.opts.Fallback.Warm(maxBatch)
+	}
+}
+
+// Close stops the control plane (waiting out every redialer) and releases
+// the peers' connections. The fallback backend is the caller's — typically
+// the daemon's serving engine — and is not closed here.
+func (f *Fleet) Close() {
+	f.closeMu.Lock()
+	select {
+	case <-f.closed:
+	default:
+		close(f.closed)
+	}
+	f.closeMu.Unlock()
+	f.redials.Wait()
+	for _, p := range f.peers {
+		p.b.Close()
+	}
+}
+
+// fleetReplica is a shard's lane into the fleet: its own counters and
+// preferred peer, everything else shared.
+type fleetReplica struct {
+	f    *Fleet
+	pref int
+
+	batches atomic.Int64
+	frames  atomic.Int64
+	errors  atomic.Int64
+}
+
+func (r *fleetReplica) Name() string  { return r.f.Name() }
+func (r *fleetReplica) InputRes() int { return r.f.InputRes() }
+func (r *fleetReplica) Stats() Stats {
+	return Stats{Batches: r.batches.Load(), Frames: r.frames.Load(), Errors: r.errors.Load()}
+}
+func (r *fleetReplica) Replicate() Backend { return r.f.Replicate() }
+func (r *fleetReplica) Warm(maxBatch int)  { r.f.peers[r.pref].b.Warm(maxBatch) }
+func (r *fleetReplica) Close()             {} // the fleet owns the shared transports
+
+// PeerHealth lets a shard replica answer for the whole fleet (the serving
+// layer discovers health through any replica).
+func (r *fleetReplica) PeerHealth() []PeerHealthInfo { return r.f.PeerHealth() }
+
+func (r *fleetReplica) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	return r.f.inferBatch(r.pref, frames, out, &r.batches, &r.frames, &r.errors)
+}
+
+// inferBatch chunks a batch through the supervisor on behalf of the fleet
+// or one of its replicas, charging the caller's counters.
+func (f *Fleet) inferBatch(pref int, frames []*imaging.Bitmap, out []float64, batches, nframes, errs *atomic.Int64) []float64 {
+	if len(frames) == 0 {
+		return out[:0]
+	}
+	out = out[:len(frames)]
+	for lo := 0; lo < len(frames); lo += BatchChunk {
+		hi := lo + BatchChunk
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		if f.dispatchChunk(pref, frames[lo:hi], out[lo:hi]) {
+			batches.Add(1)
+		} else {
+			// Fail open only once every peer and the fallback are gone:
+			// score 0 renders the frame, same contract as RemoteBackend.
+			for i := lo; i < hi; i++ {
+				out[i] = 0
+			}
+			errs.Add(1)
+		}
+	}
+	nframes.Add(int64(len(frames)))
+	return out
+}
+
+// pickHealthy scans for a healthy peer starting at start, skipping skip.
+func (f *Fleet) pickHealthy(start int, skip *fleetPeer) *fleetPeer {
+	n := len(f.peers)
+	for i := 0; i < n; i++ {
+		p := f.peers[(start+i)%n]
+		if p != skip && p.healthy() {
+			return p
+		}
+	}
+	return nil
+}
+
+// dispatchChunk scores one chunk somewhere: the preferred peer (hedged),
+// failing over across the remaining healthy peers, then the local
+// fallback. Reports whether a real verdict was produced.
+func (f *Fleet) dispatchChunk(pref int, frames []*imaging.Bitmap, out []float64) bool {
+	bufp, _ := f.bufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	body := encodeFrames((*bufp)[:0], frames)
+	*bufp = body
+	defer f.bufs.Put(bufp)
+
+	var tried [8]*fleetPeer // failover path; fleets are small
+	ntried := 0
+	skip := func(p *fleetPeer) bool {
+		for i := 0; i < ntried; i++ {
+			if tried[i] == p {
+				return true
+			}
+		}
+		return false
+	}
+	for ntried < len(f.peers) && ntried < len(tried) {
+		var p *fleetPeer
+		start := pref
+		if ntried > 0 || !f.peers[pref%len(f.peers)].healthy() {
+			// The preferred lane is out (or already failed this chunk):
+			// rotate the scan start so displaced traffic spreads across the
+			// survivors. A fixed forward scan would re-route every displaced
+			// lane to the same next peer — with the first peer down that
+			// doubles one survivor's load while the spare sits idle.
+			start = int(f.reroute.Add(1) - 1)
+		}
+		for i := 0; i < len(f.peers); i++ {
+			c := f.peers[(start+i)%len(f.peers)]
+			if c.healthy() && !skip(c) {
+				p = c
+				break
+			}
+		}
+		if p == nil {
+			break
+		}
+		if f.sendHedged(p, pref, body, out) {
+			return true
+		}
+		tried[ntried] = p
+		ntried++
+	}
+	if f.opts.Fallback != nil {
+		f.opts.Fallback.InferBatchInto(frames, out)
+		f.fallbacks.Inc()
+		return true
+	}
+	return false
+}
+
+// chunkBudget bounds one peer's whole try (retries and backoffs included).
+func (f *Fleet) chunkBudget(p *fleetPeer) time.Duration {
+	return p.b.timeout * time.Duration(p.b.retries+1)
+}
+
+// hedgeDelay derives the tail-latency trigger for a peer: EWMA mean plus
+// the HedgeQuantile sigma multiple of the smoothed deviation. Zero means
+// "do not hedge" — before any latency signal exists, or with hedging off.
+func (f *Fleet) hedgeDelay(p *fleetPeer) time.Duration {
+	if f.zHi == 0 || p.lat.N() < 3 {
+		return 0
+	}
+	// Too many consecutive canceled hedge losses: run this chunk unhedged
+	// as a live probe (see fleetPeer.consecCancels). The probe's cost is one
+	// potential tail spike per EvictAfter hedge wins against a dead peer.
+	if p.consecCancels.Load() >= int64(f.opts.EvictAfter) {
+		return 0
+	}
+	ms := p.lat.Value() + f.zHi*p.lat.Deviation()
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d < f.opts.HedgeMin {
+		d = f.opts.HedgeMin
+	}
+	if f.opts.HedgeMax > 0 && d > f.opts.HedgeMax {
+		d = f.opts.HedgeMax
+	}
+	if budget := f.chunkBudget(p); d > budget {
+		d = budget
+	}
+	return d
+}
+
+// hedgeOutcome is one arm's result.
+type hedgeOutcome struct {
+	peer *fleetPeer
+	out  []float64
+	err  error
+	took time.Duration
+}
+
+// sendHedged runs one chunk against peer p, re-issuing it to a second
+// healthy peer once p's hedge delay expires; the first success cancels the
+// other arm. Reports whether the chunk was scored into out; failures are
+// recorded against every peer that actually failed.
+func (f *Fleet) sendHedged(p *fleetPeer, pref int, body []byte, out []float64) bool {
+	delay := f.hedgeDelay(p)
+	arm := func(pr *fleetPeer) (func(), chan hedgeOutcome) {
+		ctx, cancel := context.WithTimeout(context.Background(), f.chunkBudget(pr))
+		ch := make(chan hedgeOutcome, 1)
+		buf := f.getScores(len(out))
+		go func() {
+			start := time.Now()
+			err := pr.b.tryChunk(ctx, body, buf)
+			ch <- hedgeOutcome{peer: pr, out: buf, err: err, took: time.Since(start)}
+		}()
+		return cancel, ch
+	}
+
+	settle := func(o hedgeOutcome, won bool) bool {
+		defer f.putScores(o.out)
+		if o.err != nil {
+			f.recordFailure(o.peer)
+			return false
+		}
+		o.peer.recordSuccess(o.took, len(o.out))
+		if won {
+			copy(out, o.out)
+		}
+		return won
+	}
+
+	cancelP, chP := arm(p)
+	defer cancelP()
+	var h *fleetPeer
+	if delay > 0 {
+		h = f.pickHealthy(pref+1, p)
+	}
+	if h == nil {
+		// no hedge candidate (or hedging unarmed): plain dispatch
+		return settle(<-chP, true)
+	}
+	timer := time.NewTimer(delay)
+	select {
+	case o := <-chP:
+		timer.Stop()
+		if settle(o, true) {
+			return true
+		}
+		// primary failed before the hedge fired: fall back to the
+		// dispatchChunk failover loop rather than hedging a known failure
+		return false
+	case <-timer.C:
+	}
+
+	// Primary is past its tail trigger: issue the hedge and race the arms.
+	// The loser is canceled and always waited out, so no goroutine (or
+	// scratch buffer) outlives the chunk.
+	f.hedges.Inc()
+	cancelH, chH := arm(h)
+	defer cancelH()
+	// finish publishes the winner after draining the canceled loser. A
+	// canceled loser's error is not a health signal against its peer (the
+	// cancellation raced a possibly-fine request), so only its success is
+	// recorded.
+	finish := func(winner hedgeOutcome, loserCancel func(), loserCh chan hedgeOutcome, hedgeWon bool) bool {
+		loserCancel()
+		loser := <-loserCh
+		f.putScores(loser.out)
+		if loser.err == nil {
+			loser.peer.recordSuccess(loser.took, len(loser.out))
+		} else {
+			// the cancellation raced a possibly-fine request, so this is not
+			// a failure — but the streak feeds the unhedged-probe trigger in
+			// hedgeDelay so a dead peer cannot hide behind its hedges forever
+			loser.peer.consecCancels.Add(1)
+		}
+		if hedgeWon {
+			winner.peer.hedgeWins.Inc()
+			f.hedgeWins.Inc()
+		}
+		return settle(winner, true)
+	}
+	select {
+	case o := <-chP:
+		if o.err == nil {
+			return finish(o, cancelH, chH, false)
+		}
+		// primary failed for real; let the hedge finish the chunk
+		settle(o, false)
+		return settle(<-chH, true)
+	case o := <-chH:
+		if o.err == nil {
+			return finish(o, cancelP, chP, true)
+		}
+		settle(o, false)
+		return settle(<-chP, true)
+	}
+}
+
+func (f *Fleet) getScores(n int) []float64 {
+	if sp, ok := f.scores.Get().(*[]float64); ok && cap(*sp) >= n {
+		return (*sp)[:n]
+	}
+	return make([]float64, n)
+}
+
+func (f *Fleet) putScores(s []float64) {
+	s = s[:cap(s)]
+	f.scores.Put(&s)
+}
+
+// recordFailure advances the supervisor: one more consecutive failure, and
+// past EvictAfter the peer trips to evicted and its redialer starts. The
+// CAS guarantees exactly one redialer per eviction.
+func (f *Fleet) recordFailure(p *fleetPeer) {
+	if p.consecFails.Add(1) < int64(f.opts.EvictAfter) {
+		return
+	}
+	if !p.state.CompareAndSwap(int32(PeerHealthy), int32(PeerEvicted)) {
+		return
+	}
+	p.evictions.Inc()
+	log.Printf("engine: fleet evicted %s after %d consecutive failures", p.b.Peer(), p.consecFails.Load())
+	f.redials.Add(1)
+	go f.redial(p)
+}
+
+// redial is the background re-admission state machine for one evicted
+// peer: sleep the jittered backoff, probe /modelz, re-admit on a valid
+// handshake, double the backoff and stay evicted otherwise.
+func (f *Fleet) redial(p *fleetPeer) {
+	defer f.redials.Done()
+	backoff := f.opts.RedialBase
+	for {
+		timer := time.NewTimer(jitter(backoff))
+		select {
+		case <-timer.C:
+		case <-f.closed:
+			timer.Stop()
+			return
+		}
+		p.state.Store(int32(PeerRedialing))
+		p.redials.Inc()
+		info, err := p.b.handshake(p.b.modelzURL)
+		if err == nil && info.WireVersion == wireVersion && info.InputRes == p.b.res {
+			// fresh handshake at the right version and resolution: re-admit
+			// with a clean slate — stale pre-eviction latency must not arm
+			// the hedge trigger against a peer that just came back
+			p.consecFails.Store(0)
+			p.consecCancels.Store(0)
+			p.lat.Reset()
+			p.state.Store(int32(PeerHealthy))
+			log.Printf("engine: fleet re-admitted %s", p.b.Peer())
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("handshake wire v%d res %d, want v%d res %d",
+				info.WireVersion, info.InputRes, wireVersion, p.b.res)
+		}
+		p.state.Store(int32(PeerEvicted))
+		log.Printf("engine: fleet redial %s failed (next in ~%v): %v", p.b.Peer(), backoff*2, err)
+		backoff *= 2
+		if backoff > f.opts.RedialMax {
+			backoff = f.opts.RedialMax
+		}
+		select {
+		case <-f.closed:
+			return
+		default:
+		}
+	}
+}
+
+// jitter spreads a delay uniformly over [d/2, 3d/2).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return backoffDelay(1, d, d)
+}

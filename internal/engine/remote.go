@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -39,6 +41,15 @@ type RemoteOptions struct {
 	// given is the value used (percival-serve's -peer-retries flag carries
 	// the daemon default of 2); negative values are treated as 0.
 	Retries int
+	// RetryBackoff is the base delay before the first retry; further
+	// attempts back off exponentially (base, 2x, 4x, ...) with +/-50%
+	// jitter so a struggling peer is never hammered by an instant retry
+	// storm (default 10ms). Capped at RetryBackoffMax (default 250ms).
+	// A retry whose backoff would outlive the chunk's overall deadline is
+	// skipped — the chunk fails over immediately instead of sleeping into
+	// a guaranteed timeout.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 	// Model selects a named backend on the peer (?model=); empty serves
 	// the peer's default.
 	Model string
@@ -58,6 +69,12 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 	if o.Retries < 0 {
 		o.Retries = 0
 	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 250 * time.Millisecond
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
 	}
@@ -67,13 +84,16 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 // RemoteBackend is a Backend whose forward passes run on a peer
 // percival-serve reached over HTTP. Safe for concurrent use.
 type RemoteBackend struct {
-	peer     string // normalized base URL ("http://host:port")
-	batchURL string // POST target incl. ?model=
-	name     string
-	res      int
-	timeout  time.Duration
-	retries  int
-	client   *http.Client
+	peer       string // normalized base URL ("http://host:port")
+	batchURL   string // POST target incl. ?model=
+	modelzURL  string // GET handshake target incl. ?model=
+	name       string
+	res        int
+	timeout    time.Duration
+	retries    int
+	backoff    time.Duration
+	backoffMax time.Duration
+	client     *http.Client
 
 	bufs    sync.Pool // *[]byte request bodies, reused across chunks
 	batches atomic.Int64
@@ -97,19 +117,21 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 	}
 	base := u.Scheme + "://" + u.Host
 	b := &RemoteBackend{
-		peer:    base,
-		timeout: opts.Timeout,
-		retries: opts.Retries,
-		client:  opts.Client,
+		peer:       base,
+		timeout:    opts.Timeout,
+		retries:    opts.Retries,
+		backoff:    opts.RetryBackoff,
+		backoffMax: opts.RetryBackoffMax,
+		client:     opts.Client,
 	}
 	b.batchURL = base + "/classify/batch"
-	modelzURL := base + "/modelz"
+	b.modelzURL = base + "/modelz"
 	if opts.Model != "" {
 		q := "?model=" + url.QueryEscape(opts.Model)
 		b.batchURL += q
-		modelzURL += q
+		b.modelzURL += q
 	}
-	info, err := b.handshake(modelzURL)
+	info, err := b.handshake(b.modelzURL)
 	if err != nil {
 		return nil, fmt.Errorf("engine: remote peer %s: %w", u.Host, err)
 	}
@@ -197,31 +219,85 @@ func (b *RemoteBackend) inferChunk(frames []*imaging.Bitmap, out []float64) {
 	body := encodeFrames((*bufp)[:0], frames)
 	*bufp = body
 	defer b.bufs.Put(bufp)
+	// overall chunk budget: one per-attempt timeout per attempt; backoff
+	// sleeps spend from the same budget, so a retry that cannot finish in
+	// time is abandoned early rather than slept into
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout*time.Duration(b.retries+1))
+	defer cancel()
+	if err := b.tryChunk(ctx, body, out); err != nil {
+		// Fail open: the peer cannot score this chunk and the verdict is
+		// unknown. Score 0 renders the frame — the serving edge's shed
+		// semantics, applied here.
+		for i := range out {
+			out[i] = 0
+		}
+		b.errors.Add(1)
+	}
+}
+
+// tryChunk runs the retry loop of one encoded chunk against this peer:
+// bounded exponential backoff with jitter between attempts, bailing out as
+// soon as ctx's deadline would be exceeded. Unlike inferChunk it reports
+// failure instead of failing open — the fleet layer re-routes a failed
+// chunk to another replica before giving up on a verdict.
+func (b *RemoteBackend) tryChunk(ctx context.Context, body []byte, out []float64) error {
+	var lastErr error
 	for attempt := 0; attempt <= b.retries; attempt++ {
-		retryable, err := b.post(body, out)
+		if attempt > 0 {
+			delay := backoffDelay(attempt, b.backoff, b.backoffMax)
+			if dl, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(dl) {
+				return lastErr // the backoff alone would outlive the budget
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return lastErr
+			}
+		}
+		retryable, err := b.post(ctx, body, out)
 		if err == nil {
 			b.batches.Add(1)
-			return
+			return nil
 		}
+		lastErr = err
 		if !retryable {
 			// a 4xx is the peer rejecting this exact request; re-sending
 			// the same body cannot succeed
-			break
+			return err
+		}
+		if ctx.Err() != nil {
+			return lastErr
 		}
 	}
-	// Fail open: the peer cannot score this chunk and the verdict is
-	// unknown. Score 0 renders the frame — the serving edge's shed
-	// semantics, applied here.
-	for i := range out {
-		out[i] = 0
-	}
-	b.errors.Add(1)
+	return lastErr
 }
 
-// post runs one HTTP attempt of a chunk. retryable reports whether a
-// further attempt could succeed (transport errors and 5xx yes, 4xx no).
-func (b *RemoteBackend) post(body []byte, out []float64) (retryable bool, err error) {
-	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+// backoffDelay is the exponential retry ladder: base doubled per attempt,
+// capped at ceil, with +/-50% jitter so synchronized failures do not retry
+// in lockstep.
+func backoffDelay(attempt int, base, ceil time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	if d <= 0 {
+		return 0
+	}
+	// uniform in [d/2, 3d/2)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// post runs one HTTP attempt of a chunk, bounded by the per-attempt timeout
+// and the caller's context (hedged dispatch cancels the losing attempt
+// through it). retryable reports whether a further attempt could succeed
+// (transport errors and 5xx yes, 4xx no).
+func (b *RemoteBackend) post(ctx context.Context, body []byte, out []float64) (retryable bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, b.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.batchURL, bytes.NewReader(body))
 	if err != nil {
@@ -247,20 +323,29 @@ func (b *RemoteBackend) post(body []byte, out []float64) (retryable bool, err er
 // per-shard replica serve dispatch wants.
 func (b *RemoteBackend) Replicate() Backend {
 	return &RemoteBackend{
-		peer:     b.peer,
-		batchURL: b.batchURL,
-		name:     b.name,
-		res:      b.res,
-		timeout:  b.timeout,
-		retries:  b.retries,
-		client:   b.client,
+		peer:       b.peer,
+		batchURL:   b.batchURL,
+		modelzURL:  b.modelzURL,
+		name:       b.name,
+		res:        b.res,
+		timeout:    b.timeout,
+		retries:    b.retries,
+		backoff:    b.backoff,
+		backoffMax: b.backoffMax,
+		client:     b.client,
 	}
 }
 
 // Warm pings the peer so the connection pool holds a live connection before
-// the first real dispatch. The peer warms its own arenas at startup.
+// the first real dispatch. The peer warms its own arenas at startup. A peer
+// that is already dead at warm time is an operational signal, not a silent
+// no-op: the failure is logged and counted in Stats.Errors so it shows up
+// on /metrics before the first real dispatch discovers it.
 func (b *RemoteBackend) Warm(maxBatch int) {
-	b.handshake(b.peer + "/modelz")
+	if _, err := b.handshake(b.modelzURL); err != nil {
+		b.errors.Add(1)
+		log.Printf("engine: warm %s: %v", b.peer, err)
+	}
 }
 
 // Close releases idle connections. The shared client stays usable for
@@ -275,10 +360,12 @@ func drainClose(body io.ReadCloser) {
 }
 
 // RemotePool fronts several remote peers as one Backend: Replicate hands
-// out the next peer round-robin, which is how `percival-serve -peers` pins
-// each dispatch shard to its own remote replica; calls on the pool itself
-// round-robin per batch. InferBatchInto fails open per peer, so one dead
-// replica sheds only the traffic routed to it.
+// out the next peer round-robin; calls on the pool itself round-robin per
+// batch. InferBatchInto fails open per peer, so one dead replica sheds
+// only the traffic routed to it. Most callers want Fleet instead — same
+// round-robin pinning, but with health-gated eviction, failover, redial
+// and hedging; the pool remains for the fail-fast-per-lane semantics
+// (`percival-serve -peers` builds a Fleet since PR 6).
 type RemotePool struct {
 	peers []*RemoteBackend
 	next  atomic.Int64

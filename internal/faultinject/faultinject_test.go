@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+// TestInjectorManual: Set pins a fault and Set(Fault{}) heals.
+func TestInjectorManual(t *testing.T) {
+	in := NewInjector(1)
+	if f := in.Fault(); f != (Fault{}) {
+		t.Fatalf("fresh injector has fault %+v", f)
+	}
+	in.Set(Fault{Blackhole: true})
+	if !in.Fault().Blackhole {
+		t.Fatal("Set(Blackhole) not in effect")
+	}
+	in.Set(Fault{})
+	if f := in.Fault(); f != (Fault{}) {
+		t.Fatalf("healed injector has fault %+v", f)
+	}
+}
+
+// TestInjectorSchedule: a timed schedule walks its phases, and a cycling
+// schedule wraps around (the flapping-peer shape).
+func TestInjectorSchedule(t *testing.T) {
+	in := NewInjector(1)
+	in.SetSchedule(false,
+		Phase{Fault: Fault{}, For: 30 * time.Millisecond},
+		Phase{Fault: Fault{Blackhole: true}, For: 30 * time.Millisecond},
+		Phase{Fault: Fault{}, For: 30 * time.Millisecond},
+	)
+	if in.Fault().Blackhole {
+		t.Fatal("phase 0 should be healthy")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if !in.Fault().Blackhole {
+		t.Fatal("phase 1 should blackhole")
+	}
+	time.Sleep(35 * time.Millisecond)
+	if in.Fault().Blackhole {
+		t.Fatal("phase 2 should be healthy")
+	}
+	// non-cycling: the last phase holds forever
+	time.Sleep(40 * time.Millisecond)
+	if in.Fault().Blackhole {
+		t.Fatal("last phase should hold")
+	}
+
+	in.SetSchedule(true,
+		Phase{Fault: Fault{Blackhole: true}, For: 20 * time.Millisecond},
+		Phase{Fault: Fault{}, For: 20 * time.Millisecond},
+	)
+	if !in.Fault().Blackhole {
+		t.Fatal("cycling phase 0 should blackhole")
+	}
+	time.Sleep(45 * time.Millisecond) // one full cycle + 5ms: back in phase 0
+	if !in.Fault().Blackhole {
+		t.Fatal("cycling schedule did not wrap")
+	}
+}
+
+// TestMiddlewareFaults: the server-side wrapper must pass healthy traffic,
+// 503 on error injection, and hang blackholed requests until the client's
+// deadline — never answer them.
+func TestMiddlewareFaults(t *testing.T) {
+	in := NewInjector(1)
+	ts := httptest.NewServer(Middleware(in, okHandler()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status %d", resp.StatusCode)
+	}
+
+	in.Set(Fault{ErrorRate: 1})
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("error-injected status %d, want 503", resp.StatusCode)
+	}
+
+	in.Set(Fault{Blackhole: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("blackholed request got a response")
+	}
+}
+
+// TestTransportFaults: the client-side wrapper injects without the server
+// ever seeing the request, and added latency is observable.
+func TestTransportFaults(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	in := NewInjector(1)
+	client := &http.Client{Transport: &Transport{Inj: in}}
+
+	in.Set(Fault{ErrorRate: 1})
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("injected transport error not surfaced")
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d requests through an error-injected transport", hits)
+	}
+
+	in.Set(Fault{Blackhole: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("blackholed transport returned a response")
+	}
+
+	in.Set(Fault{Latency: 40 * time.Millisecond})
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("latency injection took %v, want >= 40ms", d)
+	}
+}
+
+// TestLatencyRate: a partial latency rate slows some requests and not
+// others (the "20% slow peer" shape), deterministically per seed.
+func TestLatencyRate(t *testing.T) {
+	in := NewInjector(7)
+	in.Set(Fault{Latency: time.Hour, LatencyRate: 0.5})
+	slow := 0
+	for i := 0; i < 64; i++ {
+		if d, _, _ := in.decide(); d > 0 {
+			slow++
+		}
+	}
+	if slow == 0 || slow == 64 {
+		t.Fatalf("LatencyRate 0.5 slowed %d/64 requests", slow)
+	}
+	// rate 0 with latency set means every request
+	in.Set(Fault{Latency: time.Millisecond})
+	if d, _, _ := in.decide(); d != time.Millisecond {
+		t.Fatalf("zero rate with latency should always apply, got %v", d)
+	}
+}

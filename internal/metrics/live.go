@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -183,6 +184,76 @@ func (h *Histogram) QuantileOf(counts []int64, q float64) float64 {
 		return 0
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// EWMA is a concurrency-safe exponentially weighted moving average with a
+// companion mean-absolute-deviation estimate — the cheap streaming latency
+// model the fleet health layer uses per peer: Value tracks the typical
+// chunk latency, Deviation its spread, and together they derive the
+// tail-quantile hedge delay without keeping samples.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	mean  float64
+	dev   float64
+	n     int64
+}
+
+// NewEWMA builds an estimator with the given smoothing factor in (0, 1]
+// (higher = faster adaptation); alpha <= 0 defaults to 0.2.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average. The first sample seeds the
+// mean directly so the estimate never warms up from zero.
+func (e *EWMA) Observe(v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.mean = v
+	} else {
+		d := v - e.mean
+		if d < 0 {
+			d = -d
+		}
+		e.dev += e.alpha * (d - e.dev)
+		e.mean += e.alpha * (v - e.mean)
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mean
+}
+
+// Deviation returns the smoothed mean absolute deviation (0 before two
+// samples). For roughly normal samples, sigma ~= 1.25 * Deviation.
+func (e *EWMA) Deviation() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dev
+}
+
+// N returns the number of samples observed.
+func (e *EWMA) N() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Reset discards the estimate (a peer re-admitted after eviction should
+// not hedge off its pre-eviction latency).
+func (e *EWMA) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mean, e.dev, e.n = 0, 0, 0
 }
 
 // HistogramBucket is one row of a snapshot.

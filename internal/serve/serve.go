@@ -352,6 +352,18 @@ func (s *Server) BackendStats() []engine.Stats {
 	return out
 }
 
+// FleetHealth reports per-peer supervisor state when the shards dispatch
+// into a supervised fleet (engine.HealthReporter), nil for local backends.
+// Replicas share one health table, so any shard's answer is the fleet's.
+func (s *Server) FleetHealth() []engine.PeerHealthInfo {
+	for _, sh := range s.shards {
+		if hr, ok := sh.backend.(engine.HealthReporter); ok {
+			return hr.PeerHealth()
+		}
+	}
+	return nil
+}
+
 // Warm pre-touches every shard replica's arena state for all batch sizes
 // the coalescers can dispatch, so the first real burst allocates nothing.
 func (s *Server) Warm() {
