@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/... ./internal/faultinject/...
 
 # Native Go fuzzing smoke pass over the text parsers that face untrusted
 # input (EasyList rules, HTML). Each fuzzer runs for FUZZTIME; crashers are
@@ -55,8 +55,10 @@ chaos:
 # headline benchmark (both engines, all shard counts, the sync baselines,
 # a training epoch) plus the stem GEMM kernels, and compiles the snapshot
 # tool — the CI gate that catches harness breakage without paying for a
-# full trajectory run. Not covered at runtime: the eval parity experiment
-# (compile-only via the tool build).
+# full trajectory run. ServeOverload8x2 rides in the BenchmarkServe match
+# and is itself a gate: it fails the run unless the brownout ladder
+# engages, releases, and holds goodput under 2x offered load. Not covered
+# at runtime: the eval parity experiment (compile-only via the tool build).
 bench:
 ifdef BENCH_SMOKE
 	$(GO) test -run=NONE -bench='BenchmarkInfer|BenchmarkServe|BenchmarkSync|BenchmarkTrainingEpoch' -benchtime=1x .

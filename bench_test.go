@@ -162,6 +162,14 @@ func BenchmarkServeRemote8x2(b *testing.B) { benchsuite.ServeRemote8x2(b) }
 // throughput.
 func BenchmarkServeChaos8x2(b *testing.B) { benchsuite.ServeChaos8x2(b) }
 
+// BenchmarkServeOverload8x2 is the admission-control row: the chaos
+// topology offered 2x its measured healthy throughput open-loop while one
+// peer serves a 20% slow tail. It asserts the graded-brownout contract —
+// zero fail-open, the ladder engages (stage >= 1) and releases after the
+// load drops, goodput >= 80% of healthy throughput — while measuring
+// goodput under overload.
+func BenchmarkServeOverload8x2(b *testing.B) { benchsuite.ServeOverload8x2(b) }
+
 // BenchmarkServeSteady8x2 is the sharded steady-state benchmark and the
 // 0 allocs/op gate for the sharded dispatch hot path.
 func BenchmarkServeSteady8x2(b *testing.B) { benchsuite.ServeSteady8x2(b) }

@@ -44,6 +44,11 @@ type BenchResult struct {
 	// p99 measured on the same run (acceptance bound: <= 2).
 	P99Ratio float64 `json:"p99_ratio,omitempty"`
 	P99MS    float64 `json:"p99_ms,omitempty"`
+	// GoodputRatio/MaxStage carry the overload row's admission contract:
+	// goodput under 2x offered load over same-run healthy throughput
+	// (acceptance bound: >= 0.8) and the highest brownout stage observed.
+	GoodputRatio float64 `json:"goodput_ratio,omitempty"`
+	MaxStage     float64 `json:"max_stage,omitempty"`
 }
 
 // ShardPoint is one point of the per-shard-count throughput trajectory on
@@ -80,6 +85,14 @@ type ServeResult struct {
 	ChaosFP32FPS  float64 `json:"chaos_fp32_frames_per_sec"`
 	ChaosP99MS    float64 `json:"chaos_p99_ms"`
 	ChaosP99Ratio float64 `json:"chaos_p99_ratio"`
+	// The overload row: the chaos topology offered 2x its measured healthy
+	// throughput open-loop while one peer serves a 20% slow tail, with the
+	// unified admission controller at the edge. OverloadGoodputRatio is
+	// goodput over same-run healthy throughput (acceptance bound: >= 0.8);
+	// OverloadMaxStage is the highest brownout stage the ladder reached.
+	OverloadFP32FPS      float64 `json:"overload_fp32_frames_per_sec"`
+	OverloadGoodputRatio float64 `json:"overload_goodput_ratio"`
+	OverloadMaxStage     float64 `json:"overload_max_stage"`
 	// steady state (non-repeating frames, cache off): pure batching
 	SteadyFP32FPS     float64 `json:"steady_fp32_frames_per_sec"`
 	SteadyAllocsPerOp int64   `json:"steady_allocs_per_op"`
@@ -149,6 +162,8 @@ func main() {
 			FramesPerSec: r.Extra["frames/sec"],
 			P99Ratio:     r.Extra["p99-ratio"],
 			P99MS:        r.Extra["p99-ms"],
+			GoodputRatio: r.Extra["goodput-ratio"],
+			MaxStage:     r.Extra["max-stage"],
 		}
 		if res.FramesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op  %8.1f frames/sec\n",
@@ -181,6 +196,9 @@ func main() {
 		ChaosFP32FPS:             byName["ServeChaos8x2"].FramesPerSec,
 		ChaosP99MS:               byName["ServeChaos8x2"].P99MS,
 		ChaosP99Ratio:            byName["ServeChaos8x2"].P99Ratio,
+		OverloadFP32FPS:          byName["ServeOverload8x2"].FramesPerSec,
+		OverloadGoodputRatio:     byName["ServeOverload8x2"].GoodputRatio,
+		OverloadMaxStage:         byName["ServeOverload8x2"].MaxStage,
 	}
 	if snap.Serve.SyncFP32FPS > 0 {
 		snap.Serve.SpeedupFP32 = snap.Serve.ServeFP32FPS / snap.Serve.SyncFP32FPS
@@ -253,6 +271,7 @@ func headlineBenchmarks() []namedBench {
 		{"ServeRotation8x4", benchsuite.ServeRotation8x4},
 		{"ServeRemote8x2", benchsuite.ServeRemote8x2},
 		{"ServeChaos8x2", benchsuite.ServeChaos8x2},
+		{"ServeOverload8x2", benchsuite.ServeOverload8x2},
 		{"SyncClassify8", benchsuite.SyncClassify8},
 		{"SyncClassify8Int8", benchsuite.SyncClassify8Int8},
 		{"Gemm96x196x12544", benchsuite.GemmStem},

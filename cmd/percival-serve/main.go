@@ -20,6 +20,11 @@
 //	percival-serve                        # train a reduced-scale model, serve on :8093
 //	percival-serve -res 224 -int8         # paper-scale INT8 engine
 //	percival-serve -shards 4 -adaptive    # sharded dispatch, AIMD linger
+//	percival-serve -admission             # unified admission controller: the
+//	                                      # graded brownout ladder gates the
+//	                                      # queue door and co-adapts linger,
+//	                                      # batch cap and shed deadline under
+//	                                      # overload (stage in /healthz)
 //	percival-serve -backend fp32 -int8    # quantize, but pin serving to FP32
 //	percival-serve -peers h1:8093,h2:8093 # front a self-healing fleet: shards
 //	                                      # dispatch to supervised remote
@@ -74,6 +79,7 @@ func main() {
 		backendName = flag.String("backend", "auto", "serving backend: fp32, int8, or auto (the parity-gated default)")
 		shards      = flag.Int("shards", 1, "dispatch shards (content-hash range partitions, each with its own batcher and backend replica)")
 		adaptive    = flag.Bool("adaptive", false, "adapt the batch linger with the AIMD policy instead of the fixed -linger")
+		admission   = flag.Bool("admission", false, "run the unified admission controller: graded brownout (cache-only -> degraded -> shed) gates the queue door and co-adapts linger, batch cap and shed deadline; wraps the -adaptive AIMD policy or the fixed -linger")
 		workers     = flag.Int("workers", 0, "dispatch workers across all shards (0 = GOMAXPROCS)")
 		maxBatch    = flag.Int("batch", 16, "max frames per forward pass")
 		linger      = flag.Duration("linger", 2*time.Millisecond, "batch linger budget (fixed policy)")
@@ -88,6 +94,7 @@ func main() {
 		redialMax   = flag.Duration("redial-max", 15*time.Second, "cap on the evicted-peer redial backoff (base 250ms, doubling)")
 		hedgeQ      = flag.Float64("hedge-quantile", 0.99, "latency quantile past which a chunk is hedged to a second peer (<=0 or >=1 disables)")
 		hedgeMax    = flag.Duration("hedge-max", 0, "ceiling on the quantile-derived hedge delay (0 = the peer chunk budget); pin near the latency SLO so hedges still fire when the fleet degrades")
+		windowMax   = flag.Int("window-max", 0, "cap on each peer's adaptive in-flight congestion window (CUBIC; 0 = default 64 chunks)")
 	)
 	flag.Parse()
 
@@ -117,7 +124,7 @@ func main() {
 	local := backend
 	var fleet *engine.Fleet
 	if *peers != "" {
-		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries)
+		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries, *windowMax)
 		if err != nil {
 			log.Fatal("percival-serve: ", err)
 		}
@@ -149,7 +156,16 @@ func main() {
 		Shards:     *shards,
 		Backend:    backend,
 	}
-	if *adaptive {
+	switch {
+	case *admission:
+		// the controller wraps whichever linger policy the flags chose; the
+		// fleet's congestion windows feed its pressure signal automatically
+		inner := serve.Policy(serve.FixedPolicy{D: *linger})
+		if *adaptive {
+			inner = serve.NewAIMDPolicy()
+		}
+		opts.Policy = serve.NewAdmissionController(serve.AdmissionOptions{Linger: inner})
+	case *adaptive:
 		opts.Policy = serve.NewAIMDPolicy()
 	}
 	srv, err := serve.New(svc, opts)
@@ -215,6 +231,9 @@ func main() {
 	if *adaptive {
 		mode = "adaptive"
 	}
+	if *admission {
+		mode = "admission/" + mode
+	}
 	log.Printf("serving on %s (shards=%d batch<=%d linger=%s/%v deadline=%v)",
 		*addr, srv.Shards(), *maxBatch, mode, *linger, *deadline)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -239,7 +258,7 @@ func pickBackend(svc *core.Percival, name string) (engine.Backend, error) {
 // dialPeers performs the /modelz handshake with every -peers address,
 // validating each peer's input resolution against the local model, and
 // registers the resulting remote backends (selectable via ?model=).
-func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int) ([]*engine.RemoteBackend, error) {
+func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int, windowMax int) ([]*engine.RemoteBackend, error) {
 	var remotes []*engine.RemoteBackend
 	for _, addr := range strings.Split(list, ",") {
 		addr = strings.TrimSpace(addr)
@@ -250,6 +269,7 @@ func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration
 			Timeout:   timeout,
 			Retries:   retries,
 			ExpectRes: res,
+			WindowMax: windowMax,
 		})
 		if err != nil {
 			return nil, err
@@ -458,6 +478,9 @@ func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		io.WriteString(w, srv.Metrics().Expose())
+		if adm := srv.Admission(); adm != nil {
+			io.WriteString(w, adm.Expose())
+		}
 		for i, st := range srv.BackendStats() {
 			fmt.Fprintf(w, "percival_engine_batches_total{shard=\"%d\"} %d\n", i, st.Batches)
 			fmt.Fprintf(w, "percival_engine_errors_total{shard=\"%d\"} %d\n", i, st.Errors)
@@ -482,6 +505,10 @@ func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet
 			fmt.Fprintf(w, "percival_fleet_peer_redials_total{peer=%q} %d\n", ph.Peer, ph.Redials)
 			fmt.Fprintf(w, "percival_fleet_peer_hedge_wins_total{peer=%q} %d\n", ph.Peer, ph.HedgeWins)
 			fmt.Fprintf(w, "percival_fleet_peer_latency_ewma_ms{peer=%q} %g\n", ph.Peer, ph.LatencyEWMAMS)
+			fmt.Fprintf(w, "percival_fleet_peer_cwnd{peer=%q} %g\n", ph.Peer, ph.Cwnd)
+			fmt.Fprintf(w, "percival_fleet_peer_window_inflight{peer=%q} %d\n", ph.Peer, ph.WindowInFlight)
+			fmt.Fprintf(w, "percival_fleet_peer_window_losses_total{peer=%q} %d\n", ph.Peer, ph.WindowLosses)
+			fmt.Fprintf(w, "percival_fleet_peer_rto_ms{peer=%q} %g\n", ph.Peer, ph.RTOMS)
 		}
 	}
 }
@@ -512,21 +539,26 @@ func engineErrors(srv *serve.Server, reg *engine.Registry) int64 {
 // re-admission) is visible from outside without scraping /metrics.
 func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) http.HandlerFunc {
 	type health struct {
-		OK           bool                    `json:"ok"`
-		Engine       string                  `json:"engine"`
-		Shards       int                     `json:"shards"`
-		InputRes     int                     `json:"input_res"`
-		Threshold    float64                 `json:"threshold"`
-		CacheLen     int                     `json:"cache_len"`
-		Submitted    int64                   `json:"submitted"`
-		Shed         int64                   `json:"shed"`
-		EngineErrors int64                   `json:"engine_errors"`
-		Peers        []engine.PeerHealthInfo `json:"peers,omitempty"`
+		OK           bool    `json:"ok"`
+		Engine       string  `json:"engine"`
+		Shards       int     `json:"shards"`
+		InputRes     int     `json:"input_res"`
+		Threshold    float64 `json:"threshold"`
+		CacheLen     int     `json:"cache_len"`
+		Submitted    int64   `json:"submitted"`
+		Shed         int64   `json:"shed"`
+		EngineErrors int64   `json:"engine_errors"`
+		// Brownout is the admission ladder's current stage ("normal",
+		// "cache-only", "degraded", "shed") with its smoothed pressure
+		// signal — only present under -admission.
+		Brownout          string                  `json:"brownout_stage,omitempty"`
+		AdmissionPressure float64                 `json:"admission_pressure,omitempty"`
+		Peers             []engine.PeerHealthInfo `json:"peers,omitempty"`
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		m := srv.Metrics()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(health{
+		h := health{
 			OK:           true,
 			Engine:       engineName,
 			Shards:       srv.Shards(),
@@ -537,6 +569,11 @@ func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) h
 			Shed:         m.Shed.Load(),
 			EngineErrors: engineErrors(srv, reg),
 			Peers:        srv.FleetHealth(),
-		})
+		}
+		if adm := srv.Admission(); adm != nil {
+			h.Brownout = adm.Stage().String()
+			h.AdmissionPressure = adm.Pressure()
+		}
+		json.NewEncoder(w).Encode(h)
 	}
 }

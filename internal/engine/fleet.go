@@ -142,20 +142,24 @@ type fleetPeer struct {
 	evictions     metrics.Counter
 	redials       metrics.Counter // probe attempts (successful or not)
 	hedgeWins     metrics.Counter // chunks this peer rescued as the hedge
-	lat           *metrics.EWMA   // chunk latency, milliseconds
+	// lat aliases the peer's congestion-window RTT estimator: the window
+	// observes every attempt's round trip inside tryChunk, and the hedge
+	// trigger reads the same stream here — one feed, two consumers.
+	lat *metrics.EWMA // attempt latency, milliseconds
 }
 
 func (p *fleetPeer) healthy() bool {
 	return PeerState(p.state.Load()) == PeerHealthy
 }
 
-// recordSuccess resets the failure streaks, feeds the latency model, and
-// charges the scored frames to the peer's own counters (fleet dispatch goes
-// through tryChunk, below the peer's InferBatchInto accounting).
-func (p *fleetPeer) recordSuccess(d time.Duration, nframes int) {
+// recordSuccess resets the failure streaks and charges the scored frames to
+// the peer's own counters (fleet dispatch goes through tryChunk, below the
+// peer's InferBatchInto accounting). The latency model is NOT fed here:
+// tryChunk already observed the attempt's round trip into the shared window
+// EWMA, and a second observation would double-weight every sample.
+func (p *fleetPeer) recordSuccess(nframes int) {
 	p.consecFails.Store(0)
 	p.consecCancels.Store(0)
-	p.lat.Observe(float64(d.Nanoseconds()) / 1e6)
 	p.b.frames.Add(int64(nframes))
 }
 
@@ -173,6 +177,11 @@ type PeerHealthInfo struct {
 	LatencyDevMS  float64   `json:"latency_dev_ms"`
 	Frames        int64     `json:"frames"`
 	Errors        int64     `json:"errors"`
+	// congestion-window state (see CubicWindow)
+	Cwnd           float64 `json:"cwnd"`
+	WindowInFlight int     `json:"window_in_flight"`
+	WindowLosses   int64   `json:"window_losses"`
+	RTOMS          float64 `json:"rto_ms"`
 }
 
 // HealthReporter is implemented by backends that supervise peers; the
@@ -237,7 +246,7 @@ func NewFleet(peers []*RemoteBackend, opts FleetOptions) (*Fleet, error) {
 	}
 	f.peers = make([]*fleetPeer, len(peers))
 	for i, b := range peers {
-		f.peers[i] = &fleetPeer{b: b, lat: metrics.NewEWMA(0.2)}
+		f.peers[i] = &fleetPeer{b: b, lat: b.win.RTT()}
 	}
 	return f, nil
 }
@@ -262,20 +271,38 @@ func (f *Fleet) PeerHealth() []PeerHealthInfo {
 	out := make([]PeerHealthInfo, len(f.peers))
 	for i, p := range f.peers {
 		st := p.b.Stats()
+		win := p.b.win.Stat()
 		state := PeerState(p.state.Load())
 		out[i] = PeerHealthInfo{
-			Peer:          p.b.Peer(),
-			State:         state.String(),
-			StateCode:     state,
-			ConsecFails:   p.consecFails.Load(),
-			Evictions:     p.evictions.Load(),
-			Redials:       p.redials.Load(),
-			HedgeWins:     p.hedgeWins.Load(),
-			LatencyEWMAMS: p.lat.Value(),
-			LatencyDevMS:  p.lat.Deviation(),
-			Frames:        st.Frames,
-			Errors:        st.Errors,
+			Peer:           p.b.Peer(),
+			State:          state.String(),
+			StateCode:      state,
+			ConsecFails:    p.consecFails.Load(),
+			Evictions:      p.evictions.Load(),
+			Redials:        p.redials.Load(),
+			HedgeWins:      p.hedgeWins.Load(),
+			LatencyEWMAMS:  p.lat.Value(),
+			LatencyDevMS:   p.lat.Deviation(),
+			Frames:         st.Frames,
+			Errors:         st.Errors,
+			Cwnd:           win.Cwnd,
+			WindowInFlight: win.InFlight,
+			WindowLosses:   win.Losses,
+			RTOMS:          win.RTOMS,
 		}
+	}
+	return out
+}
+
+// WindowStats reports every supervised peer's congestion-window state
+// (WindowReporter) — the serve admission controller's remote-saturation
+// signal.
+func (f *Fleet) WindowStats() []WindowStat {
+	out := make([]WindowStat, len(f.peers))
+	for i, p := range f.peers {
+		st := p.b.win.Stat()
+		st.Peer = p.b.Peer()
+		out[i] = st
 	}
 	return out
 }
@@ -360,6 +387,9 @@ func (r *fleetReplica) Close()             {} // the fleet owns the shared trans
 // PeerHealth lets a shard replica answer for the whole fleet (the serving
 // layer discovers health through any replica).
 func (r *fleetReplica) PeerHealth() []PeerHealthInfo { return r.f.PeerHealth() }
+
+// WindowStats lets a shard replica report the whole fleet's windows.
+func (r *fleetReplica) WindowStats() []WindowStat { return r.f.WindowStats() }
 
 func (r *fleetReplica) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
 	return r.f.inferBatch(r.pref, frames, out, &r.batches, &r.frames, &r.errors)
@@ -498,7 +528,6 @@ type hedgeOutcome struct {
 	peer *fleetPeer
 	out  []float64
 	err  error
-	took time.Duration
 }
 
 // sendHedged runs one chunk against peer p, re-issuing it to a second
@@ -512,9 +541,8 @@ func (f *Fleet) sendHedged(p *fleetPeer, pref int, body []byte, out []float64) b
 		ch := make(chan hedgeOutcome, 1)
 		buf := f.getScores(len(out))
 		go func() {
-			start := time.Now()
 			err := pr.b.tryChunk(ctx, body, buf)
-			ch <- hedgeOutcome{peer: pr, out: buf, err: err, took: time.Since(start)}
+			ch <- hedgeOutcome{peer: pr, out: buf, err: err}
 		}()
 		return cancel, ch
 	}
@@ -525,7 +553,7 @@ func (f *Fleet) sendHedged(p *fleetPeer, pref int, body []byte, out []float64) b
 			f.recordFailure(o.peer)
 			return false
 		}
-		o.peer.recordSuccess(o.took, len(o.out))
+		o.peer.recordSuccess(len(o.out))
 		if won {
 			copy(out, o.out)
 		}
@@ -557,7 +585,11 @@ func (f *Fleet) sendHedged(p *fleetPeer, pref int, body []byte, out []float64) b
 
 	// Primary is past its tail trigger: issue the hedge and race the arms.
 	// The loser is canceled and always waited out, so no goroutine (or
-	// scratch buffer) outlives the chunk.
+	// scratch buffer) outlives the chunk. Firing is itself a congestion
+	// signal against the primary — it blew past its own tail estimate — so
+	// its window backs off (coalesced to one decrease per RTT, so a burst
+	// of hedges against a briefly-slow peer is one event, not a collapse).
+	p.b.win.OnLoss()
 	f.hedges.Inc()
 	cancelH, chH := arm(h)
 	defer cancelH()
@@ -570,7 +602,7 @@ func (f *Fleet) sendHedged(p *fleetPeer, pref int, body []byte, out []float64) b
 		loser := <-loserCh
 		f.putScores(loser.out)
 		if loser.err == nil {
-			loser.peer.recordSuccess(loser.took, len(loser.out))
+			loser.peer.recordSuccess(len(loser.out))
 		} else {
 			// the cancellation raced a possibly-fine request, so this is not
 			// a failure — but the streak feeds the unhedged-probe trigger in
@@ -623,6 +655,9 @@ func (f *Fleet) recordFailure(p *fleetPeer) {
 		return
 	}
 	p.evictions.Inc()
+	// the peer stopped answering entirely: drop its window to the floor so
+	// a racing in-flight dispatch cannot stack chunks onto a dead peer
+	p.b.win.Collapse()
 	log.Printf("engine: fleet evicted %s after %d consecutive failures", p.b.Peer(), p.consecFails.Load())
 	f.redials.Add(1)
 	go f.redial(p)
@@ -648,10 +683,11 @@ func (f *Fleet) redial(p *fleetPeer) {
 		if err == nil && info.WireVersion == wireVersion && info.InputRes == p.b.res {
 			// fresh handshake at the right version and resolution: re-admit
 			// with a clean slate — stale pre-eviction latency must not arm
-			// the hedge trigger against a peer that just came back
+			// the hedge trigger against a peer that just came back, and the
+			// window restarts in slow start (Reset clears the shared EWMA)
 			p.consecFails.Store(0)
 			p.consecCancels.Store(0)
-			p.lat.Reset()
+			p.b.win.Reset()
 			p.state.Store(int32(PeerHealthy))
 			log.Printf("engine: fleet re-admitted %s", p.b.Peer())
 			return

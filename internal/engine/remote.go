@@ -60,6 +60,12 @@ type RemoteOptions struct {
 	// Client overrides the HTTP client. Replicas share their parent's
 	// client, so a fleet of shard replicas reuses one connection pool.
 	Client *http.Client
+	// WindowMax caps the peer's adaptive in-flight congestion window
+	// (default 64 chunks). The window starts small, grows CUBIC-style on
+	// RTT-sample success, and backs off multiplicatively on timeouts and
+	// hedge fires — see CubicWindow. All replicas of one backend share one
+	// window, so every lane sees one congestion picture per peer.
+	WindowMax int
 }
 
 func (o RemoteOptions) withDefaults() RemoteOptions {
@@ -94,6 +100,7 @@ type RemoteBackend struct {
 	backoff    time.Duration
 	backoffMax time.Duration
 	client     *http.Client
+	win        *CubicWindow // shared across replicas: one window per peer
 
 	bufs    sync.Pool // *[]byte request bodies, reused across chunks
 	batches atomic.Int64
@@ -123,6 +130,7 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 		backoff:    opts.RetryBackoff,
 		backoffMax: opts.RetryBackoffMax,
 		client:     opts.Client,
+		win:        NewCubicWindow(WindowOptions{Max: float64(opts.WindowMax)}),
 	}
 	b.batchURL = base + "/classify/batch"
 	b.modelzURL = base + "/modelz"
@@ -240,7 +248,20 @@ func (b *RemoteBackend) inferChunk(frames []*imaging.Bitmap, out []float64) {
 // soon as ctx's deadline would be exceeded. Unlike inferChunk it reports
 // failure instead of failing open — the fleet layer re-routes a failed
 // chunk to another replica before giving up on a verdict.
+//
+// The whole try holds one slot of the peer's congestion window: a peer
+// whose window has shrunk takes proportionally fewer chunks in flight, and
+// every attempt's round trip feeds the window (growth on success, backoff
+// on a failed attempt) so the in-flight bound tracks what the peer can
+// actually absorb.
 func (b *RemoteBackend) tryChunk(ctx context.Context, body []byte, out []float64) error {
+	if !b.win.Acquire(ctx) {
+		// the window never opened within the chunk budget: the peer is
+		// saturated, which the caller treats like any other chunk failure
+		// (the fleet fails over; standalone use fails open)
+		return fmt.Errorf("engine: peer %s: congestion window saturated: %w", b.peer, ctx.Err())
+	}
+	defer b.win.Release()
 	var lastErr error
 	for attempt := 0; attempt <= b.retries; attempt++ {
 		if attempt > 0 {
@@ -256,10 +277,18 @@ func (b *RemoteBackend) tryChunk(ctx context.Context, body []byte, out []float64
 				return lastErr
 			}
 		}
+		start := time.Now()
 		retryable, err := b.post(ctx, body, out)
 		if err == nil {
 			b.batches.Add(1)
+			b.win.OnSuccess(time.Since(start))
 			return nil
+		}
+		if ctx.Err() != context.Canceled {
+			// a canceled hedge loser is not a congestion signal — the
+			// cancellation raced a possibly-fine request; everything else
+			// (timeout, transport error, 5xx) backs the window off
+			b.win.OnLoss()
 		}
 		lastErr = err
 		if !retryable {
@@ -297,7 +326,14 @@ func backoffDelay(attempt int, base, ceil time.Duration) time.Duration {
 // through it). retryable reports whether a further attempt could succeed
 // (transport errors and 5xx yes, 4xx no).
 func (b *RemoteBackend) post(ctx context.Context, body []byte, out []float64) (retryable bool, err error) {
-	ctx, cancel := context.WithTimeout(ctx, b.timeout)
+	timeout := b.timeout
+	if rto := b.win.RTO(); rto > 0 && rto < timeout {
+		// adaptive RTO: once the RTT estimator has warmed up, an attempt
+		// that has outlived mean+4·dev is almost certainly lost — retry it
+		// (or fail over) instead of sleeping out the configured ceiling
+		timeout = rto
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.batchURL, bytes.NewReader(body))
 	if err != nil {
@@ -318,9 +354,20 @@ func (b *RemoteBackend) post(ctx context.Context, body []byte, out []float64) (r
 	return false, nil
 }
 
+// Window returns the peer's shared congestion window.
+func (b *RemoteBackend) Window() *CubicWindow { return b.win }
+
+// WindowStats reports this peer's window state (WindowReporter).
+func (b *RemoteBackend) WindowStats() []WindowStat {
+	st := b.win.Stat()
+	st.Peer = b.peer
+	return []WindowStat{st}
+}
+
 // Replicate returns a proxy to the same peer sharing this backend's HTTP
-// client (one connection pool per fleet) with its own counters — the
-// per-shard replica serve dispatch wants.
+// client (one connection pool per fleet) and congestion window (one
+// in-flight picture per peer) with its own counters — the per-shard
+// replica serve dispatch wants.
 func (b *RemoteBackend) Replicate() Backend {
 	return &RemoteBackend{
 		peer:       b.peer,
@@ -333,6 +380,7 @@ func (b *RemoteBackend) Replicate() Backend {
 		backoff:    b.backoff,
 		backoffMax: b.backoffMax,
 		client:     b.client,
+		win:        b.win,
 	}
 }
 
@@ -389,6 +437,15 @@ func NewRemotePool(peers []*RemoteBackend) (*RemotePool, error) {
 
 // Peers returns the pooled backends (stats introspection).
 func (p *RemotePool) Peers() []*RemoteBackend { return p.peers }
+
+// WindowStats reports every pooled peer's congestion window state.
+func (p *RemotePool) WindowStats() []WindowStat {
+	out := make([]WindowStat, len(p.peers))
+	for i, b := range p.peers {
+		out[i] = b.WindowStats()[0]
+	}
+	return out
+}
 
 // Name identifies the pool and its size.
 func (p *RemotePool) Name() string { return fmt.Sprintf("remote-pool(%d)", len(p.peers)) }

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a CubicWindow's time source deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testWindow(opts WindowOptions) (*CubicWindow, *fakeClock) {
+	w := NewCubicWindow(opts)
+	clk := newFakeClock()
+	w.now = clk.now
+	return w, clk
+}
+
+func TestWindowSlowStart(t *testing.T) {
+	w, _ := testWindow(WindowOptions{Initial: 2, Max: 32})
+	if got := w.Stat().Cwnd; got != 2 {
+		t.Fatalf("initial cwnd = %v, want 2", got)
+	}
+	// below ssthresh every ack adds a full chunk
+	for i := 0; i < 5; i++ {
+		w.OnSuccess(time.Millisecond)
+	}
+	if got := w.Stat().Cwnd; got != 7 {
+		t.Fatalf("cwnd after 5 acks in slow start = %v, want 7", got)
+	}
+	// growth saturates at Max
+	for i := 0; i < 100; i++ {
+		w.OnSuccess(time.Millisecond)
+	}
+	if got := w.Stat().Cwnd; got != 32 {
+		t.Fatalf("cwnd = %v, want capped at Max=32", got)
+	}
+}
+
+// TestWindowCubicShape checks the congestion-avoidance curve: concave
+// recovery toward the pre-loss plateau, slow movement near it, then convex
+// acceleration past it — growth per unit time must dip around t=K.
+func TestWindowCubicShape(t *testing.T) {
+	w, clk := testWindow(WindowOptions{Initial: 4, Max: 1000, Beta: 0.7, C: 0.4})
+	// grow to a meaty window, then take a loss to enter congestion avoidance
+	for w.Stat().Cwnd < 40 {
+		w.OnSuccess(time.Millisecond)
+	}
+	pre := w.Stat().Cwnd
+	w.OnLoss()
+	post := w.Stat().Cwnd
+	if want := pre * 0.7; post < want-0.01 || post > want+0.01 {
+		t.Fatalf("cwnd after loss = %v, want beta*%v = %v", post, pre, want)
+	}
+
+	// sample cwnd along the curve at fixed time steps, one RTT's worth of
+	// acks (~cwnd) per step so the window tracks the cubic target
+	growth := make([]float64, 0, 30)
+	prev := post
+	for i := 0; i < 30; i++ {
+		clk.advance(200 * time.Millisecond)
+		for a := int(w.Stat().Cwnd); a > 0; a-- {
+			w.OnSuccess(time.Millisecond)
+		}
+		cur := w.Stat().Cwnd
+		growth = append(growth, cur-prev)
+		prev = cur
+	}
+	if prev <= pre {
+		t.Fatalf("window never probed past pre-loss plateau: %v <= %v", prev, pre)
+	}
+	// concave region recovers faster than the plateau region, and the convex
+	// tail grows faster than the plateau region
+	early, mid, late := growth[0], growth[len(growth)/2], growth[len(growth)-1]
+	if early <= mid {
+		t.Errorf("concave recovery not faster than plateau: early=%v mid=%v", early, mid)
+	}
+	if late <= mid {
+		t.Errorf("convex probe not faster than plateau: late=%v mid=%v", late, mid)
+	}
+}
+
+func TestWindowLossCoalescing(t *testing.T) {
+	w, clk := testWindow(WindowOptions{Initial: 16, Max: 64})
+	// warm the RTT estimator so the guard interval is ~10ms
+	for i := 0; i < 10; i++ {
+		w.OnSuccess(10 * time.Millisecond)
+	}
+	first := w.Stat().Cwnd
+	w.OnLoss()
+	afterOne := w.Stat().Cwnd
+	if afterOne >= first {
+		t.Fatalf("loss did not shrink window: %v -> %v", first, afterOne)
+	}
+	// a burst of losses within one RTT is one congestion event
+	w.OnLoss()
+	w.OnLoss()
+	if got := w.Stat().Cwnd; got != afterOne {
+		t.Fatalf("coalesced losses changed window: %v, want %v", got, afterOne)
+	}
+	if got := w.Stat().Losses; got != 1 {
+		t.Fatalf("losses counter = %d, want 1 coalesced event", got)
+	}
+	// past the guard interval a new loss counts
+	clk.advance(time.Second)
+	w.OnLoss()
+	if got := w.Stat().Cwnd; got >= afterOne {
+		t.Fatalf("second loss event did not shrink window: %v", got)
+	}
+}
+
+func TestWindowNeverBelowOne(t *testing.T) {
+	w, clk := testWindow(WindowOptions{Initial: 2, Max: 8})
+	for i := 0; i < 50; i++ {
+		w.OnLoss()
+		clk.advance(time.Second) // defeat coalescing: every loss counts
+	}
+	if got := w.Stat().Cwnd; got < 1 {
+		t.Fatalf("cwnd = %v, fell below 1", got)
+	}
+	w.Collapse()
+	if got := w.Stat().Cwnd; got != 1 {
+		t.Fatalf("cwnd after Collapse = %v, want 1", got)
+	}
+	// even at the floor one slot is always grantable
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if !w.Acquire(ctx) {
+		t.Fatal("Acquire failed at floor window")
+	}
+	w.Release()
+}
+
+func TestWindowRTO(t *testing.T) {
+	w, _ := testWindow(WindowOptions{RTOMin: 200 * time.Millisecond})
+	if got := w.RTO(); got != 0 {
+		t.Fatalf("RTO before %d samples = %v, want 0 (no opinion)", windowRTOSamples, got)
+	}
+	// fast steady samples: mean+4dev is tiny, so the floor must hold
+	for i := 0; i < 20; i++ {
+		w.OnSuccess(2 * time.Millisecond)
+	}
+	if got := w.RTO(); got != 200*time.Millisecond {
+		t.Fatalf("RTO on fast peer = %v, want floored at 200ms", got)
+	}
+	// slow samples push the RTO above the floor
+	for i := 0; i < 40; i++ {
+		w.OnSuccess(300 * time.Millisecond)
+	}
+	if got := w.RTO(); got <= 200*time.Millisecond {
+		t.Fatalf("RTO on slow peer = %v, want above the floor", got)
+	}
+}
+
+func TestWindowAcquireGating(t *testing.T) {
+	w, _ := testWindow(WindowOptions{Initial: 2, Max: 2})
+	ctx := context.Background()
+	if !w.Acquire(ctx) || !w.Acquire(ctx) {
+		t.Fatal("could not fill window")
+	}
+	// third acquire must block until a release
+	got := make(chan bool, 1)
+	go func() {
+		got <- w.Acquire(ctx)
+	}()
+	select {
+	case <-got:
+		t.Fatal("Acquire succeeded beyond the window")
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Release()
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("Acquire returned false after release")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake on release")
+	}
+
+	// a blocked acquire must honour context cancellation
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if w.Acquire(cctx) {
+		t.Fatal("Acquire succeeded on cancelled context with full window")
+	}
+	if w.Stat().Blocked < 2 {
+		t.Fatalf("blocked counter = %d, want >= 2", w.Stat().Blocked)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w, clk := testWindow(WindowOptions{Initial: 4, Max: 64})
+	for i := 0; i < 20; i++ {
+		w.OnSuccess(5 * time.Millisecond)
+	}
+	w.OnLoss()
+	clk.advance(time.Second)
+	w.Reset()
+	st := w.Stat()
+	if st.Cwnd != 4 {
+		t.Fatalf("cwnd after Reset = %v, want initial 4", st.Cwnd)
+	}
+	if n := w.RTT().N(); n != 0 {
+		t.Fatalf("RTT estimator kept %d samples across Reset", n)
+	}
+	// reset puts the window back in slow start
+	w.OnSuccess(time.Millisecond)
+	if got := w.Stat().Cwnd; got != 5 {
+		t.Fatalf("cwnd after post-reset ack = %v, want 5 (slow start)", got)
+	}
+}

@@ -2,9 +2,12 @@ package faultinject
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -165,5 +168,109 @@ func TestLatencyRate(t *testing.T) {
 	in.Set(Fault{Latency: time.Millisecond})
 	if d, _, _ := in.decide(); d != time.Millisecond {
 		t.Fatalf("zero rate with latency should always apply, got %v", d)
+	}
+}
+
+// TestInjectorConcurrentScheduleMutation hammers one injector from many
+// goroutines — decide/Fault readers racing Set and SetSchedule writers —
+// the way a chaos benchmark's driver rewrites phases while request
+// goroutines are mid-flight. The race detector is the real assertion; the
+// invariant checked is that a decided fault is always one a configured
+// phase could produce.
+func TestInjectorConcurrentScheduleMutation(t *testing.T) {
+	in := NewInjector(3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				delay, _, blackhole := in.decide()
+				if blackhole {
+					t.Error("no configured phase blackholes")
+					return
+				}
+				if delay != 0 && delay != 3*time.Millisecond {
+					t.Errorf("decided delay %v matches no configured phase", delay)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			in.Set(Fault{ErrorRate: 0.5})
+		case 1:
+			in.SetSchedule(true,
+				Phase{Fault: Fault{Latency: 3 * time.Millisecond}, For: time.Millisecond},
+				Phase{Fault: Fault{}, For: time.Millisecond},
+			)
+		case 2:
+			in.Set(Fault{})
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTransportScheduleConcurrent composes a timed phase schedule with the
+// client-side RoundTripper under concurrent requests: a healthy → failing →
+// healthy schedule must fail some in-flight traffic mid-schedule and none
+// once the final phase holds.
+func TestTransportScheduleConcurrent(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := NewInjector(5)
+	client := &http.Client{Transport: &Transport{Inj: in}}
+	in.SetSchedule(false,
+		Phase{Fault: Fault{}, For: 30 * time.Millisecond},
+		Phase{Fault: Fault{ErrorRate: 1}, For: 30 * time.Millisecond},
+		Phase{Fault: Fault{}, For: time.Millisecond},
+	)
+
+	var ok, injected, other atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(90 * time.Millisecond)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, err := client.Get(ts.URL)
+				switch {
+				case err == nil:
+					resp.Body.Close()
+					ok.Add(1)
+				case errors.Is(err, injectedError{}):
+					injected.Add(1)
+				default:
+					other.Add(1)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("%d non-injected failures", other.Load())
+	}
+	if ok.Load() == 0 || injected.Load() == 0 {
+		t.Fatalf("schedule did not exercise both phases under concurrency: ok=%d injected=%d",
+			ok.Load(), injected.Load())
+	}
+	// the non-cycling schedule's last phase holds: traffic is clean again
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request after heal phase failed: %v", err)
+		}
+		resp.Body.Close()
 	}
 }

@@ -129,7 +129,11 @@ type Options struct {
 	Backend engine.Backend
 	// Policy sets the adaptive linger/batch policy (default: fixed Linger).
 	// An *AIMDPolicy with no Hist is wired to the service's own latency
-	// histogram.
+	// histogram. An *AdmissionController additionally takes over admission:
+	// graded brownout, stage-adjusted batch cap and shed deadline (its
+	// wrapped linger policy gets the same histogram wiring, and its remote
+	// congestion feed defaults to the service backend when that reports
+	// windows).
 	Policy Policy
 }
 
@@ -176,7 +180,13 @@ type Metrics struct {
 	// BatchFill records frames per dispatched batch.
 	BatchFill *metrics.Histogram
 	// LatencyMS records enqueue→resolve latency for model-scored frames.
+	// Shed resolutions are deliberately excluded: the AIMD policy holds this
+	// histogram's tail to its wait budget, and shed waits (which are capped
+	// by the deadline regardless of what the policy does) would bias its
+	// linger halvings. They go to ShedWaitMS instead.
 	LatencyMS *metrics.Histogram
+	// ShedWaitMS records enqueue→shed wait for rejected requests.
+	ShedWaitMS *metrics.Histogram
 	// ShardFrames counts model-dispatched frames per shard (routing and
 	// balance observability).
 	ShardFrames []metrics.Counter
@@ -191,7 +201,8 @@ func (m *Metrics) Expose() string {
 		metrics.ExposeCounter("percival_serve_shed_total", &m.Shed) +
 		metrics.ExposeCounter("percival_serve_batches_total", &m.Batches) +
 		m.BatchFill.Expose("percival_serve_batch_fill") +
-		m.LatencyMS.Expose("percival_serve_latency_ms")
+		m.LatencyMS.Expose("percival_serve_latency_ms") +
+		m.ShedWaitMS.Expose("percival_serve_shed_wait_ms")
 	for i := range m.ShardFrames {
 		s += fmt.Sprintf("percival_serve_shard_frames_total{shard=\"%d\"} %d\n",
 			i, m.ShardFrames[i].Load())
@@ -234,6 +245,7 @@ type Server struct {
 	svc    *core.Percival
 	opts   Options
 	policy Policy
+	adm    *AdmissionController // non-nil when Policy is an AdmissionController
 	shards []*shard
 
 	reqPool sync.Pool
@@ -280,9 +292,22 @@ func New(svc *core.Percival, opts Options) (*Server, error) {
 	}
 	s.met.BatchFill = metrics.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64})
 	s.met.LatencyMS = metrics.NewHistogram(nil)
+	s.met.ShedWaitMS = metrics.NewHistogram(nil)
 	s.met.ShardFrames = make([]metrics.Counter, opts.Shards)
 	if a, ok := policy.(*AIMDPolicy); ok && a.Hist == nil {
 		a.Hist = s.met.LatencyMS
+	}
+	if ac, ok := policy.(*AdmissionController); ok {
+		s.adm = ac
+		ac.setDeadline(opts.Deadline)
+		if a, ok := ac.inner.(*AIMDPolicy); ok && a.Hist == nil {
+			a.Hist = s.met.LatencyMS
+		}
+		if ac.opts.Windows == nil {
+			if wr, ok := backend.(engine.WindowReporter); ok {
+				ac.opts.Windows = wr
+			}
+		}
 	}
 	s.reqPool.New = func() any {
 		return &request{done: make(chan struct{}, 1)}
@@ -362,6 +387,32 @@ func (s *Server) FleetHealth() []engine.PeerHealthInfo {
 		}
 	}
 	return nil
+}
+
+// WindowStats reports per-peer congestion-window state when the shards
+// dispatch into window-gated remotes (engine.WindowReporter), nil for local
+// backends. Replicas share their peer's window, so any shard's answer is
+// the fleet's.
+func (s *Server) WindowStats() []engine.WindowStat {
+	for _, sh := range s.shards {
+		if wr, ok := sh.backend.(engine.WindowReporter); ok {
+			return wr.WindowStats()
+		}
+	}
+	return nil
+}
+
+// Admission returns the unified admission controller when one is the
+// service's policy, nil otherwise.
+func (s *Server) Admission() *AdmissionController { return s.adm }
+
+// BrownoutStage reports the admission ladder's current stage
+// (BrownoutNormal when no admission controller is installed).
+func (s *Server) BrownoutStage() BrownoutStage {
+	if s.adm == nil {
+		return BrownoutNormal
+	}
+	return s.adm.Stage()
 }
 
 // Warm pre-touches every shard replica's arena state for all batch sizes
@@ -447,11 +498,65 @@ func (s *Server) begin(frame *imaging.Bitmap) (Result, bool, *request) {
 	ch.pending[key] = r
 	ch.mu.Unlock()
 
-	// Bounded queue: a full shard queue blocks the submitter (backpressure);
-	// requests that then sit past the deadline are shed at dispatch.
-	shd.queue <- r
+	// Bounded queue with stage-graded admission. Normal operation blocks
+	// the submitter on a full queue (backpressure) — but never past the
+	// shed deadline: a request that cannot even enter the queue in time is
+	// already doomed, and shedding it here keeps it from occupying bounded
+	// capacity just to be shed at dispatch. Under brownout (stage >= 1)
+	// admission stops blocking entirely, and at stage 3 new leader work is
+	// shed at the edge; cache and coalesce hits were already served above.
+	stage := BrownoutNormal
+	if s.adm != nil {
+		stage = s.adm.AdmitQueue(len(shd.queue), cap(shd.queue))
+	}
+	switch {
+	case stage >= BrownoutShed:
+		s.adm.ObserveShed()
+		shd.resolveShed(r)
+	case stage >= BrownoutCacheOnly:
+		select {
+		case shd.queue <- r:
+		default:
+			s.adm.ObserveShed()
+			shd.resolveShed(r)
+		}
+	default:
+		if !shd.enqueue(r, s.opts.Deadline) {
+			// a door shed under normal stage is overload ground truth: the
+			// queue stayed full for the whole deadline — feed it, weighted by
+			// every follower that coalesced behind the doomed leader
+			n := shd.resolveShed(r)
+			if s.adm != nil {
+				s.adm.ObserveOverloadShed(n)
+			}
+		}
+	}
 	s.closeMu.RUnlock()
 	return Result{}, false, r
+}
+
+// enqueue submits a leader to the shard's bounded queue, blocking at most d
+// (0: unbounded backpressure, the pre-deadline contract). Reports false when
+// the wait exhausted the shed deadline — the caller sheds immediately
+// instead of queueing a request that can only be shed later.
+func (sh *shard) enqueue(r *request, d time.Duration) bool {
+	select {
+	case sh.queue <- r:
+		return true
+	default:
+	}
+	if d <= 0 {
+		sh.queue <- r
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case sh.queue <- r:
+		return true
+	case <-timer.C:
+		return false
+	}
 }
 
 // Submit classifies one frame through the batching service, blocking until
@@ -540,8 +645,11 @@ func (sh *shard) coalesce() {
 			if !ok {
 				return
 			}
+			if !sh.admitPopped(r) {
+				continue
+			}
 			batch = append(batch, r)
-			if len(batch) >= s.opts.MaxBatch {
+			if len(batch) >= s.batchCap() {
 				flush()
 				continue
 			}
@@ -554,8 +662,11 @@ func (sh *shard) coalesce() {
 				flush()
 				return
 			}
+			if !sh.admitPopped(r) {
+				continue
+			}
 			batch = append(batch, r)
-			if len(batch) >= s.opts.MaxBatch {
+			if len(batch) >= s.batchCap() {
 				stopTimer()
 				flush()
 			}
@@ -563,6 +674,45 @@ func (sh *shard) coalesce() {
 			flush()
 		}
 	}
+}
+
+// admitPopped screens a request leaving the queue: one already past the
+// shed deadline can only be shed at dispatch, so shedding it here frees its
+// batch slot for live work instead of carrying a doomed passenger through
+// the coalescer. Every pop also feeds the admission controller's pressure
+// signal with the leader's queue age — in a coalescing service the leader
+// population is bounded by the distinct-creative count, so occupancy alone
+// under-reads saturation; age against the deadline is the signal that
+// actually pins high when dispatch falls behind.
+func (sh *shard) admitPopped(r *request) bool {
+	age := time.Since(r.enq)
+	if sh.srv.adm != nil {
+		sh.srv.adm.ObserveDispatchWait(age)
+	}
+	if d := sh.srv.shedDeadline(); d > 0 && age > d {
+		n := sh.resolveShed(r)
+		if sh.srv.adm != nil {
+			sh.srv.adm.ObserveOverloadShed(n)
+		}
+		return false
+	}
+	return true
+}
+
+// batchCap is the stage-adjusted frames-per-dispatch cap.
+func (s *Server) batchCap() int {
+	if s.adm != nil {
+		return s.adm.BatchCap(s.opts.MaxBatch)
+	}
+	return s.opts.MaxBatch
+}
+
+// shedDeadline is the stage-adjusted shed deadline.
+func (s *Server) shedDeadline() time.Duration {
+	if s.adm != nil {
+		return s.adm.ShedDeadline(s.opts.Deadline)
+	}
+	return s.opts.Deadline
 }
 
 func (sh *shard) getBatchSlice() []*request {
@@ -586,9 +736,9 @@ func (sh *shard) worker() {
 		frames = frames[:0]
 		live = live[:0]
 		now := time.Now()
-		if s.opts.Deadline > 0 {
+		if deadline := s.shedDeadline(); deadline > 0 {
 			for _, r := range batch {
-				if now.Sub(r.enq) > s.opts.Deadline {
+				if now.Sub(r.enq) > deadline {
 					sh.resolveShed(r)
 					continue
 				}
@@ -648,9 +798,14 @@ func (sh *shard) resolve(r *request, score float64) {
 }
 
 // resolveShed rejects a request (and any coalesced followers) with
-// verdict-unknown.
-func (sh *shard) resolveShed(r *request) {
+// verdict-unknown, returning how many submissions that resolved — the
+// request mass a deadline shed feeds into the admission pressure signal.
+// The wait goes to ShedWaitMS, never LatencyMS — shed waits are
+// deadline-capped no matter what the linger policy does, and would bias its
+// tail check (see Metrics.LatencyMS).
+func (sh *shard) resolveShed(r *request) int {
 	s := sh.srv
+	s.met.ShedWaitMS.Observe(float64(time.Since(r.enq).Nanoseconds()) / 1e6)
 	ch := sh.cache.shard(r.key)
 	ch.mu.Lock()
 	if ch.pending[r.key] == r {
@@ -667,6 +822,7 @@ func (sh *shard) resolveShed(r *request) {
 	r.status = StatusShed
 	s.met.Shed.Inc()
 	r.done <- struct{}{}
+	return 1 + len(followers)
 }
 
 // Close drains the service: it waits for in-flight submitters, stops every
