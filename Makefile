@@ -30,12 +30,14 @@ test:
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/... ./internal/faultinject/...
 
-# Native Go fuzzing smoke pass over the text parsers that face untrusted
-# input (EasyList rules, HTML). Each fuzzer runs for FUZZTIME; crashers are
-# written to the package's testdata/fuzz corpus and reproduced by `go test`.
+# Native Go fuzzing smoke pass over the decoders that face untrusted input
+# (EasyList rules, HTML, the persistent-socket wire framing). Each fuzzer
+# runs for FUZZTIME; crashers are written to the package's testdata/fuzz
+# corpus and reproduced by `go test`.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/easylist
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dom
+	$(GO) test -run=NONE -fuzz=FuzzWireMsg -fuzztime=$(FUZZTIME) ./internal/engine
 
 # Fault-injection smoke: drives the fleet supervisor (eviction, redial,
 # hedging, local fallback) and the daemon's serving edge through flapping /

@@ -154,6 +154,14 @@ func BenchmarkServeRotation8x4(b *testing.B) { benchsuite.ServeRotation8x4(b) }
 // is the remote-dispatch proxy overhead.
 func BenchmarkServeRemote8x2(b *testing.B) { benchsuite.ServeRemote8x2(b) }
 
+// BenchmarkServeRemoteWire8x2 is the persistent-socket transport benchmark:
+// the remote topology with the wire-v2 framed socket negotiated instead of
+// HTTP and hash-first dedup answering repeat creatives from the peers'
+// verdict caches. It gates the transport's contracts — bit-identical
+// verdicts, >=10x cache-warm wire-bytes cut, zero fail-open — and its delta
+// against BenchmarkServeRotation8x2 is the socket dispatch overhead.
+func BenchmarkServeRemoteWire8x2(b *testing.B) { benchsuite.ServeRemoteWire8x2(b) }
+
 // BenchmarkServeChaos8x2 is the fleet-health row: the remote topology plus
 // a spare replica under fault injection (one preferred peer blackholed and
 // evicted, one serving a 20% slow tail absorbed by hedging). It asserts the

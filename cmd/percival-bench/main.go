@@ -49,6 +49,10 @@ type BenchResult struct {
 	// (acceptance bound: >= 0.8) and the highest brownout stage observed.
 	GoodputRatio float64 `json:"goodput_ratio,omitempty"`
 	MaxStage     float64 `json:"max_stage,omitempty"`
+	// WireBytesRatio carries the socket-transport row's dedup contract:
+	// cold-window wire bytes (pixels) over warm-window wire bytes (probe
+	// hits) on the rotation workload (acceptance bound: >= 10).
+	WireBytesRatio float64 `json:"wire_bytes_ratio,omitempty"`
 }
 
 // ShardPoint is one point of the per-shard-count throughput trajectory on
@@ -78,6 +82,13 @@ type ServeResult struct {
 	// configuration as the x2 shard-sweep point, with every forward pass
 	// proxied to one of two backend replicas over loopback HTTP.
 	RemoteFP32FPS float64 `json:"remote_fp32_frames_per_sec"`
+	// The persistent-socket row: the remote topology with the wire-v2
+	// framed transport negotiated instead of HTTP and hash-first dedup
+	// answering repeat creatives from the peers' verdict caches.
+	// RemoteWireBytesRatio is cold-window over warm-window wire bytes
+	// (acceptance bound: >= 10x).
+	RemoteWireFPS        float64 `json:"remote_wire_frames_per_sec"`
+	RemoteWireBytesRatio float64 `json:"remote_wire_bytes_ratio"`
 	// The chaos row: the remote topology plus a spare replica under fault
 	// injection (one preferred peer blackholed and evicted, one serving a
 	// 20% slow tail that the hedger absorbs). ChaosP99Ratio is steady-chaos
@@ -154,16 +165,17 @@ func main() {
 			}
 		}
 		res := BenchResult{
-			Name:         b.name,
-			MsPerOp:      float64(r.NsPerOp()) / 1e6,
-			BytesPerOp:   r.AllocedBytesPerOp(),
-			AllocsPerOp:  r.AllocsPerOp(),
-			Iterations:   r.N,
-			FramesPerSec: r.Extra["frames/sec"],
-			P99Ratio:     r.Extra["p99-ratio"],
-			P99MS:        r.Extra["p99-ms"],
-			GoodputRatio: r.Extra["goodput-ratio"],
-			MaxStage:     r.Extra["max-stage"],
+			Name:           b.name,
+			MsPerOp:        float64(r.NsPerOp()) / 1e6,
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			Iterations:     r.N,
+			FramesPerSec:   r.Extra["frames/sec"],
+			P99Ratio:       r.Extra["p99-ratio"],
+			P99MS:          r.Extra["p99-ms"],
+			GoodputRatio:   r.Extra["goodput-ratio"],
+			MaxStage:       r.Extra["max-stage"],
+			WireBytesRatio: r.Extra["bytes-cold/warm"],
 		}
 		if res.FramesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op  %8.1f frames/sec\n",
@@ -193,6 +205,8 @@ func main() {
 		ShardedSteadyFPS:         byName["ServeSteady8x2"].FramesPerSec,
 		ShardedSteadyAllocsPerOp: byName["ServeSteady8x2"].AllocsPerOp,
 		RemoteFP32FPS:            byName["ServeRemote8x2"].FramesPerSec,
+		RemoteWireFPS:            byName["ServeRemoteWire8x2"].FramesPerSec,
+		RemoteWireBytesRatio:     byName["ServeRemoteWire8x2"].WireBytesRatio,
 		ChaosFP32FPS:             byName["ServeChaos8x2"].FramesPerSec,
 		ChaosP99MS:               byName["ServeChaos8x2"].P99MS,
 		ChaosP99Ratio:            byName["ServeChaos8x2"].P99Ratio,
@@ -270,6 +284,7 @@ func headlineBenchmarks() []namedBench {
 		{"ServeRotation8x2Int8", benchsuite.ServeRotation8x2Int8},
 		{"ServeRotation8x4", benchsuite.ServeRotation8x4},
 		{"ServeRemote8x2", benchsuite.ServeRemote8x2},
+		{"ServeRemoteWire8x2", benchsuite.ServeRemoteWire8x2},
 		{"ServeChaos8x2", benchsuite.ServeChaos8x2},
 		{"ServeOverload8x2", benchsuite.ServeOverload8x2},
 		{"SyncClassify8", benchsuite.SyncClassify8},

@@ -34,6 +34,14 @@
 //	                                      # -redial-max, -hedge-quantile),
 //	                                      # falling back to the local model
 //	                                      # when no healthy peer remains
+//	percival-serve -wire-listen :8094     # also serve the persistent-socket
+//	                                      # wire (v2): fronts negotiate it via
+//	                                      # /modelz and keep one hot framed
+//	                                      # connection instead of HTTP posts,
+//	                                      # with hash-first dedup answered
+//	                                      # from the verdict cache
+//	percival-serve -peers h1:8093 -peer-transport http  # pin fronts to the
+//	                                      # v1 HTTP wire even if peers offer v2
 //	percival-serve -cache-file v.pcvc     # verdict cache survives restarts
 //	percival-serve -model m.pcvl -res 32  # serve saved weights
 //	percival-serve -pretrained            # deterministic untrained weights (smoke)
@@ -47,6 +55,7 @@ import (
 	"io"
 	"log"
 	"mime"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -95,6 +104,9 @@ func main() {
 		hedgeQ      = flag.Float64("hedge-quantile", 0.99, "latency quantile past which a chunk is hedged to a second peer (<=0 or >=1 disables)")
 		hedgeMax    = flag.Duration("hedge-max", 0, "ceiling on the quantile-derived hedge delay (0 = the peer chunk budget); pin near the latency SLO so hedges still fire when the fleet degrades")
 		windowMax   = flag.Int("window-max", 0, "cap on each peer's adaptive in-flight congestion window (CUBIC; 0 = default 64 chunks)")
+		wireListen  = flag.String("wire-listen", "", "also listen for the persistent-socket wire (v2) on this address and advertise it via /modelz (empty = HTTP wire only)")
+		peerTrans   = flag.String("peer-transport", "auto", "wire to each -peers replica: auto (best the peer offers), http (v1 POST per chunk), socket (require the v2 persistent socket)")
+		peerNoDedup = flag.Bool("peer-no-dedup", false, "disable the socket wire's hash-first dedup probes (measurement; scores are identical either way)")
 	)
 	flag.Parse()
 
@@ -124,7 +136,7 @@ func main() {
 	local := backend
 	var fleet *engine.Fleet
 	if *peers != "" {
-		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries, *windowMax)
+		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries, *windowMax, *peerTrans, *peerNoDedup)
 		if err != nil {
 			log.Fatal("percival-serve: ", err)
 		}
@@ -190,12 +202,35 @@ func main() {
 		}
 	}
 
+	// The persistent-socket wire listener serves the same local backend as
+	// /classify/batch and answers hash probes straight from the serving
+	// verdict cache (serve.Server implements engine.VerdictCache), so a
+	// front's dedup hit and a local cache hit are the same entry. Binding
+	// before the /modelz mount lets the handshake advertise the concrete
+	// bound address (":0" included).
+	var wire *engine.WireServer
+	wireAddr := ""
+	if *wireListen != "" {
+		ln, err := net.Listen("tcp", *wireListen)
+		if err != nil {
+			log.Fatal("percival-serve: wire listener: ", err)
+		}
+		wire = engine.NewWireServer(engine.WireServerOptions{Backend: local, Cache: srv})
+		go func() {
+			if err := wire.Serve(ln); err != nil {
+				log.Printf("wire listener: %v", err)
+			}
+		}()
+		wireAddr = ln.Addr().String()
+		log.Printf("wire listener on %s (persistent-socket wire v2)", wireAddr)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", classifyHandler(srv, reg, backend))
 	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, local))
-	mux.Handle("GET /modelz", engine.ModelzHandler(reg, local, svc.Threshold()))
-	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name()))
-	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet))
+	mux.Handle("GET /modelz", engine.ModelzHandlerWire(reg, local, svc.Threshold(), wireAddr))
+	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name(), wire))
+	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet, wire))
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})
@@ -213,6 +248,12 @@ func main() {
 			log.Printf("http shutdown: %v", err)
 		}
 		cancel()
+		if wire != nil {
+			// stop the socket wire with the HTTP front: fronts see the
+			// connection drop, fail the in-flight chunks over and redial
+			// elsewhere
+			wire.Close()
+		}
 		srv.Close()
 		if fleet != nil {
 			// stop the redial state machines before exit (the local fallback
@@ -258,7 +299,7 @@ func pickBackend(svc *core.Percival, name string) (engine.Backend, error) {
 // dialPeers performs the /modelz handshake with every -peers address,
 // validating each peer's input resolution against the local model, and
 // registers the resulting remote backends (selectable via ?model=).
-func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int, windowMax int) ([]*engine.RemoteBackend, error) {
+func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int, windowMax int, transport string, noDedup bool) ([]*engine.RemoteBackend, error) {
 	var remotes []*engine.RemoteBackend
 	for _, addr := range strings.Split(list, ",") {
 		addr = strings.TrimSpace(addr)
@@ -270,6 +311,8 @@ func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration
 			Retries:   retries,
 			ExpectRes: res,
 			WindowMax: windowMax,
+			Transport: transport,
+			NoDedup:   noDedup,
 		})
 		if err != nil {
 			return nil, err
@@ -278,7 +321,7 @@ func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration
 			return nil, err
 		}
 		remotes = append(remotes, rb)
-		log.Printf("peer ready: %s (res=%d)", rb.Name(), rb.InputRes())
+		log.Printf("peer ready: %s (res=%d wire=%s)", rb.Name(), rb.InputRes(), rb.TransportStats().Kind)
 	}
 	if len(remotes) == 0 {
 		return nil, fmt.Errorf("-peers %q names no peers", list)
@@ -474,7 +517,7 @@ func decodeFrame(r *http.Request, body []byte) (*imaging.Bitmap, error) {
 // local /classify/batch traffic. A -peers front also exposes the fleet
 // supervisor: per-peer state/eviction/redial/hedge counters and latency
 // EWMAs, plus the fleet-wide hedge and local-fallback totals.
-func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet) http.HandlerFunc {
+func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet, wire *engine.WireServer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		io.WriteString(w, srv.Metrics().Expose())
@@ -491,6 +534,22 @@ func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet
 				fmt.Fprintf(w, "percival_engine_backend_frames_total{backend=%q} %d\n", name, st.Frames)
 				fmt.Fprintf(w, "percival_engine_backend_errors_total{backend=%q} %d\n", name, st.Errors)
 			}
+		}
+		hw := engine.WireHTTPStats()
+		fmt.Fprintf(w, "percival_wire_http_requests_total %d\n", hw.Requests)
+		fmt.Fprintf(w, "percival_wire_http_bytes_in_total %d\n", hw.BytesIn)
+		fmt.Fprintf(w, "percival_wire_http_bytes_out_total %d\n", hw.BytesOut)
+		fmt.Fprintf(w, "percival_wire_http_write_errors_total %d\n", hw.WriteErrors)
+		if wire != nil {
+			ws := wire.Stats()
+			fmt.Fprintf(w, "percival_wire_sock_conns_total %d\n", ws.Conns)
+			fmt.Fprintf(w, "percival_wire_sock_requests_total %d\n", ws.Requests)
+			fmt.Fprintf(w, "percival_wire_sock_probe_hits_total %d\n", ws.ProbeHits)
+			fmt.Fprintf(w, "percival_wire_sock_probe_misses_total %d\n", ws.ProbeMisses)
+			fmt.Fprintf(w, "percival_wire_sock_frames_scored_total %d\n", ws.FramesScored)
+			fmt.Fprintf(w, "percival_wire_sock_bytes_in_total %d\n", ws.BytesIn)
+			fmt.Fprintf(w, "percival_wire_sock_bytes_out_total %d\n", ws.BytesOut)
+			fmt.Fprintf(w, "percival_wire_sock_write_errors_total %d\n", ws.WriteErrors)
 		}
 		if fleet == nil {
 			return
@@ -509,6 +568,11 @@ func metricsHandler(srv *serve.Server, reg *engine.Registry, fleet *engine.Fleet
 			fmt.Fprintf(w, "percival_fleet_peer_window_inflight{peer=%q} %d\n", ph.Peer, ph.WindowInFlight)
 			fmt.Fprintf(w, "percival_fleet_peer_window_losses_total{peer=%q} %d\n", ph.Peer, ph.WindowLosses)
 			fmt.Fprintf(w, "percival_fleet_peer_rto_ms{peer=%q} %g\n", ph.Peer, ph.RTOMS)
+			fmt.Fprintf(w, "percival_fleet_peer_wire_bytes_out_total{peer=%q,transport=%q} %d\n", ph.Peer, ph.Transport, ph.WireBytesOut)
+			fmt.Fprintf(w, "percival_fleet_peer_wire_bytes_in_total{peer=%q,transport=%q} %d\n", ph.Peer, ph.Transport, ph.WireBytesIn)
+			fmt.Fprintf(w, "percival_fleet_peer_wire_frames_pixels_total{peer=%q,transport=%q} %d\n", ph.Peer, ph.Transport, ph.WireFramesPix)
+			fmt.Fprintf(w, "percival_fleet_peer_wire_frames_dedup_total{peer=%q,transport=%q} %d\n", ph.Peer, ph.Transport, ph.WireFramesDdup)
+			fmt.Fprintf(w, "percival_fleet_peer_wire_dials_total{peer=%q,transport=%q} %d\n", ph.Peer, ph.Transport, ph.WireDials)
 		}
 	}
 }
@@ -537,7 +601,7 @@ func engineErrors(srv *serve.Server, reg *engine.Registry) int64 {
 // per-peer rows — state, failure streak, eviction/redial/hedge counters
 // and the latency EWMA — so an evicted peer (and its automatic
 // re-admission) is visible from outside without scraping /metrics.
-func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) http.HandlerFunc {
+func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string, wire *engine.WireServer) http.HandlerFunc {
 	type health struct {
 		OK           bool    `json:"ok"`
 		Engine       string  `json:"engine"`
@@ -554,6 +618,9 @@ func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) h
 		Brownout          string                  `json:"brownout_stage,omitempty"`
 		AdmissionPressure float64                 `json:"admission_pressure,omitempty"`
 		Peers             []engine.PeerHealthInfo `json:"peers,omitempty"`
+		// Wire is the persistent-socket listener's counter snapshot — only
+		// present under -wire-listen.
+		Wire *engine.WireServerStats `json:"wire,omitempty"`
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		m := srv.Metrics()
@@ -573,6 +640,10 @@ func healthHandler(srv *serve.Server, reg *engine.Registry, engineName string) h
 		if adm := srv.Admission(); adm != nil {
 			h.Brownout = adm.Stage().String()
 			h.AdmissionPressure = adm.Pressure()
+		}
+		if wire != nil {
+			ws := wire.Stats()
+			h.Wire = &ws
 		}
 		json.NewEncoder(w).Encode(h)
 	}

@@ -37,8 +37,8 @@ func testFrontend(t testing.TB, svc *core.Percival, srv *serve.Server, reg *engi
 	mux.HandleFunc("POST /classify", classifyHandler(srv, reg, backend))
 	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, backend))
 	mux.Handle("GET /modelz", engine.ModelzHandler(reg, backend, svc.Threshold()))
-	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name()))
-	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet))
+	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name(), nil))
+	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet, nil))
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts

@@ -2,6 +2,7 @@ package benchsuite
 
 import (
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -252,6 +253,131 @@ func ServeRemote8x2(b *testing.B) {
 	if errs > 0 {
 		failf(b, "remote dispatch failed open %d times during the benchmark", errs)
 	}
+	reportFPS(b, int64(b.N)*ServeConcurrency*serveRotationDistinct)
+}
+
+// ServeRemoteWire8x2 is the persistent-socket counterpart of ServeRemote8x2:
+// the same rotation workload, shard count and two backend replicas, but the
+// proxies negotiate the wire-v2 socket transport — one hot framed connection
+// per peer with hash-first dedup answered from each peer's verdict cache.
+// The timed loop runs cache-warm (the rotation reality: every window re-sees
+// the same 16 creatives the peers already scored), so the headline measures
+// the probe-hit fast path. Before timing, the row hard-asserts the
+// transport's two contracts: verdicts bit-identical to in-process scoring,
+// and a >=10x wire-bytes cut from cold (pixels) to warm (probes) windows.
+func ServeRemoteWire8x2(b *testing.B) {
+	svc := PaperService(false)
+	remotes := make([]*engine.RemoteBackend, 2)
+	for i := range remotes {
+		rep := svc.Engine().Replicate()
+		rep.Warm(16)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			failf(b, "wire listener: %v", err)
+		}
+		ws := engine.NewWireServer(engine.WireServerOptions{Backend: rep, Cache: engine.NewVerdictMap(0)})
+		go ws.Serve(ln)
+		defer ws.Close()
+		mux := http.NewServeMux()
+		mux.Handle("POST /classify/batch", engine.BatchHandler(nil, rep))
+		mux.Handle("GET /modelz", engine.ModelzHandlerWire(nil, rep, svc.Threshold(), ln.Addr().String()))
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		rb, err := engine.NewRemote(ts.URL, engine.RemoteOptions{ExpectRes: svc.InputRes()})
+		if err != nil {
+			failf(b, "dial wire peer: %v", err)
+		}
+		if kind := rb.TransportStats().Kind; kind != "socket" {
+			failf(b, "negotiated %s transport, want socket", kind)
+		}
+		remotes[i] = rb
+	}
+	pool, err := engine.NewRemotePool(remotes)
+	if err != nil {
+		failf(b, "%v", err)
+	}
+	srv, err := serve.New(svc, serve.Options{
+		MaxBatch: 16,
+		Shards:   2,
+		Policy:   serve.NewAIMDPolicy(),
+		Backend:  pool,
+	})
+	if err != nil {
+		failf(b, "%v", err)
+	}
+	defer srv.Close()
+	srv.Warm()
+	frames := synth.SampleFrames(19, serveRotationDistinct)
+	runWindow := func() {
+		var wg sync.WaitGroup
+		for c := 0; c < ServeConcurrency; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := range frames {
+					srv.Submit(frames[(c+i)%len(frames)])
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	wireBytes := func() int64 {
+		var n int64
+		for _, rb := range remotes {
+			n += rb.TransportStats().BytesOut
+		}
+		return n
+	}
+
+	// cold window: peer verdict caches start empty, every creative's pixels
+	// cross the wire exactly once (also warms pools, arenas and the socket)
+	start := wireBytes()
+	runWindow()
+	coldBytes := wireBytes() - start
+
+	// bit-identity gate: the wire-scored verdicts now memoized at the
+	// serving edge must equal in-process classification exactly
+	for i, f := range frames {
+		if got, want := srv.Submit(f).Score, svc.Classify(f); got != want {
+			failf(b, "frame %d: wire verdict %v, in-process %v", i, got, want)
+		}
+	}
+
+	// warm window: the peers' caches know all the creatives, so the probes
+	// answer everything — the deterministic >=10x bytes cut the dedup tier
+	// exists for
+	srv.ResetCache()
+	start = wireBytes()
+	runWindow()
+	warmBytes := wireBytes() - start
+	if warmBytes <= 0 || coldBytes < 10*warmBytes {
+		failf(b, "dedup bytes cut %d -> %d (%.1fx), want >=10x",
+			coldBytes, warmBytes, float64(coldBytes)/float64(warmBytes))
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ResetCache()
+		runWindow()
+	}
+	b.StopTimer()
+	var errs int64
+	for _, st := range srv.BackendStats() {
+		errs += st.Errors
+	}
+	if errs > 0 {
+		failf(b, "socket dispatch failed open %d times during the benchmark", errs)
+	}
+	var dedup, pixels int64
+	for _, rb := range remotes {
+		st := rb.TransportStats()
+		dedup += st.FramesDedup
+		pixels += st.FramesPixels
+	}
+	if dedup == 0 {
+		failf(b, "no frames were deduped on the warm rotation (pixels=%d)", pixels)
+	}
+	b.ReportMetric(float64(coldBytes)/float64(warmBytes), "bytes-cold/warm")
 	reportFPS(b, int64(b.N)*ServeConcurrency*serveRotationDistinct)
 }
 

@@ -182,6 +182,14 @@ type PeerHealthInfo struct {
 	WindowInFlight int     `json:"window_in_flight"`
 	WindowLosses   int64   `json:"window_losses"`
 	RTOMS          float64 `json:"rto_ms"`
+	// negotiated-transport state (see TransportStats); the byte counters
+	// make the dedup tier's wire savings visible per peer
+	Transport      string `json:"transport"`
+	WireBytesOut   int64  `json:"wire_bytes_out"`
+	WireBytesIn    int64  `json:"wire_bytes_in"`
+	WireFramesPix  int64  `json:"wire_frames_pixels"`
+	WireFramesDdup int64  `json:"wire_frames_dedup"`
+	WireDials      int64  `json:"wire_dials"`
 }
 
 // HealthReporter is implemented by backends that supervise peers; the
@@ -204,7 +212,7 @@ type Fleet struct {
 	hedgeWins metrics.Counter // hedges that beat the primary
 	fallbacks metrics.Counter // chunks scored by the local Fallback
 
-	bufs    sync.Pool // *[]byte encode buffers
+	chunks  chunkPool // pooled dispatch chunks (lazy wire encodings)
 	scores  sync.Pool // *[]float64 hedge scratch buffers
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -272,6 +280,7 @@ func (f *Fleet) PeerHealth() []PeerHealthInfo {
 	for i, p := range f.peers {
 		st := p.b.Stats()
 		win := p.b.win.Stat()
+		tr := p.b.TransportStats()
 		state := PeerState(p.state.Load())
 		out[i] = PeerHealthInfo{
 			Peer:           p.b.Peer(),
@@ -289,6 +298,12 @@ func (f *Fleet) PeerHealth() []PeerHealthInfo {
 			WindowInFlight: win.InFlight,
 			WindowLosses:   win.Losses,
 			RTOMS:          win.RTOMS,
+			Transport:      tr.Kind,
+			WireBytesOut:   tr.BytesOut,
+			WireBytesIn:    tr.BytesIn,
+			WireFramesPix:  tr.FramesPixels,
+			WireFramesDdup: tr.FramesDedup,
+			WireDials:      tr.Dials,
 		}
 	}
 	return out
@@ -438,13 +453,11 @@ func (f *Fleet) pickHealthy(start int, skip *fleetPeer) *fleetPeer {
 // failing over across the remaining healthy peers, then the local
 // fallback. Reports whether a real verdict was produced.
 func (f *Fleet) dispatchChunk(pref int, frames []*imaging.Bitmap, out []float64) bool {
-	bufp, _ := f.bufs.Get().(*[]byte)
-	if bufp == nil {
-		bufp = new([]byte)
-	}
-	body := encodeFrames((*bufp)[:0], frames)
-	*bufp = body
-	defer f.bufs.Put(bufp)
+	// one wireChunk per dispatch, shared by every failover try and hedge
+	// arm: each wire encoding (HTTP body, content keys) is computed at most
+	// once no matter how many peers or transports see the chunk
+	chunk := f.chunks.get(frames)
+	defer f.chunks.put(chunk)
 
 	var tried [8]*fleetPeer // failover path; fleets are small
 	ntried := 0
@@ -477,7 +490,7 @@ func (f *Fleet) dispatchChunk(pref int, frames []*imaging.Bitmap, out []float64)
 		if p == nil {
 			break
 		}
-		if f.sendHedged(p, pref, body, out) {
+		if f.sendHedged(p, pref, chunk, out) {
 			return true
 		}
 		tried[ntried] = p
@@ -534,14 +547,14 @@ type hedgeOutcome struct {
 // healthy peer once p's hedge delay expires; the first success cancels the
 // other arm. Reports whether the chunk was scored into out; failures are
 // recorded against every peer that actually failed.
-func (f *Fleet) sendHedged(p *fleetPeer, pref int, body []byte, out []float64) bool {
+func (f *Fleet) sendHedged(p *fleetPeer, pref int, chunk *wireChunk, out []float64) bool {
 	delay := f.hedgeDelay(p)
 	arm := func(pr *fleetPeer) (func(), chan hedgeOutcome) {
 		ctx, cancel := context.WithTimeout(context.Background(), f.chunkBudget(pr))
 		ch := make(chan hedgeOutcome, 1)
 		buf := f.getScores(len(out))
 		go func() {
-			err := pr.b.tryChunk(ctx, body, buf)
+			err := pr.b.tryChunk(ctx, chunk, buf)
 			ch <- hedgeOutcome{peer: pr, out: buf, err: err}
 		}()
 		return cancel, ch
@@ -680,7 +693,7 @@ func (f *Fleet) redial(p *fleetPeer) {
 		p.state.Store(int32(PeerRedialing))
 		p.redials.Inc()
 		info, err := p.b.handshake(p.b.modelzURL)
-		if err == nil && info.WireVersion == wireVersion && info.InputRes == p.b.res {
+		if err == nil && p.b.tr.compatible(info) && info.InputRes == p.b.res {
 			// fresh handshake at the right version and resolution: re-admit
 			// with a clean slate — stale pre-eviction latency must not arm
 			// the hedge trigger against a peer that just came back, and the
@@ -693,8 +706,11 @@ func (f *Fleet) redial(p *fleetPeer) {
 			return
 		}
 		if err == nil {
-			err = fmt.Errorf("handshake wire v%d res %d, want v%d res %d",
-				info.WireVersion, info.InputRes, wireVersion, p.b.res)
+			// the transport's own compatibility check failed: the peer came
+			// back speaking a wire this backend's negotiated transport
+			// cannot ride (e.g. socket peer restarted HTTP-only)
+			err = fmt.Errorf("handshake wire v%d addr %q res %d incompatible with %s transport (res %d)",
+				info.WireVersion, info.WireAddr, info.InputRes, p.b.tr.Kind(), p.b.res)
 		}
 		p.state.Store(int32(PeerEvicted))
 		log.Printf("engine: fleet redial %s failed (next in ~%v): %v", p.b.Peer(), backoff*2, err)

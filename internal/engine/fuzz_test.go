@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"percival/internal/synth"
+)
+
+// FuzzWireMsg drives the persistent-socket wire's two stream decoders with
+// arbitrary bytes. They parse length-prefixed frames off a long-lived TCP
+// connection — the server's (and client's) untrusted-input surface — so the
+// contract is: bounded allocation before any length is validated, an error
+// for every malformed prefix, and never a panic. Whatever does decode must
+// re-encode/route without crashing.
+func FuzzWireMsg(f *testing.F) {
+	// seeds: well-formed messages of every shape, then each invariant the
+	// decoders enforce broken one at a time
+	frames := synth.SampleFrames(3, 2)
+	keys := make([][32]byte, len(frames))
+	var probe bytes.Buffer
+	var hdr [sockHeaderLen]byte
+	putSockHeader(hdr[:], batchMagic, 7, sockFlagProbe, uint32(len(frames)))
+	probe.Write(hdr[:])
+	var pb [8]byte
+	for i := range frames {
+		probe.Write(keys[i][:])
+		binary.LittleEndian.PutUint64(pb[:], uint64(i)*0x9e3779b9)
+		probe.Write(pb[:])
+	}
+	f.Add(probe.Bytes())
+
+	var pixels bytes.Buffer
+	putSockHeader(hdr[:], batchMagic, 8, 0, uint32(len(frames)))
+	pixels.Write(hdr[:])
+	var dims [8]byte
+	for i, fr := range frames {
+		pixels.Write(keys[i][:])
+		binary.LittleEndian.PutUint32(dims[0:4], uint32(fr.W))
+		binary.LittleEndian.PutUint32(dims[4:8], uint32(fr.H))
+		pixels.Write(dims[:])
+		pixels.Write(fr.Pix)
+	}
+	f.Add(pixels.Bytes())
+
+	var scoresPlain bytes.Buffer
+	putSockHeader(hdr[:], scoreMagic, 9, 0, 2)
+	scoresPlain.Write(hdr[:])
+	scoresPlain.Write(make([]byte, 16))
+	f.Add(scoresPlain.Bytes())
+
+	var scoresMasked bytes.Buffer
+	putSockHeader(hdr[:], scoreMagic, 10, sockFlagMask, 3)
+	scoresMasked.Write(hdr[:])
+	scoresMasked.WriteByte(0b101) // 2 hits of 3
+	scoresMasked.Write(make([]byte, 16))
+	f.Add(scoresMasked.Bytes())
+
+	// broken invariants: truncations, version skew, id/flag noise, counts
+	// and dims past every bound (including the w*h*4 overflow corner)
+	f.Add(probe.Bytes()[:sockHeaderLen-3])
+	f.Add(pixels.Bytes()[:pixels.Len()-5])
+	skew := append([]byte{}, probe.Bytes()...)
+	binary.LittleEndian.PutUint16(skew[4:6], 0xffff)
+	f.Add(skew)
+	noise := append([]byte{}, scoresPlain.Bytes()...)
+	binary.LittleEndian.PutUint32(noise[6:10], 0xdeadbeef) // unknown id
+	binary.LittleEndian.PutUint32(noise[10:14], 0xff)      // reserved flags
+	f.Add(noise)
+	huge := append([]byte{}, pixels.Bytes()[:sockHeaderLen]...)
+	binary.LittleEndian.PutUint32(huge[14:18], 0xffffffff)
+	f.Add(huge)
+	var overflow bytes.Buffer
+	putSockHeader(hdr[:], batchMagic, 11, 0, 1)
+	overflow.Write(hdr[:])
+	overflow.Write(keys[0][:])
+	binary.LittleEndian.PutUint32(dims[0:4], 1<<15)
+	binary.LittleEndian.PutUint32(dims[4:8], 1<<15)
+	overflow.Write(dims[:])
+	f.Add(overflow.Bytes())
+	mask := append([]byte{}, scoresMasked.Bytes()...)
+	mask[sockHeaderLen] = 0xff // bits set past count
+	f.Add(mask)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := readSockRequest(bufio.NewReader(bytes.NewReader(data))); err == nil {
+			// decoded requests must be internally consistent: the server
+			// indexes keys, phashes and frames by the same count
+			if req.probe {
+				if len(req.phash) != len(req.keys) || len(req.frames) != 0 {
+					t.Fatalf("probe shape: %d keys, %d phash, %d frames",
+						len(req.keys), len(req.phash), len(req.frames))
+				}
+			} else {
+				if len(req.frames) != len(req.keys) || len(req.frames) == 0 {
+					t.Fatalf("pixel shape: %d keys, %d frames", len(req.keys), len(req.frames))
+				}
+				for _, fr := range req.frames {
+					if fr.W <= 0 || fr.H <= 0 || len(fr.Pix) != fr.W*fr.H*4 {
+						t.Fatalf("decoded frame %dx%d with %d pixel bytes", fr.W, fr.H, len(fr.Pix))
+					}
+				}
+			}
+		}
+		if resp, err := readSockResponse(bufio.NewReader(bytes.NewReader(data))); err == nil {
+			// the client walks mask bits against the score slice; a decoded
+			// response must never send it out of bounds
+			if resp.masked {
+				hits := 0
+				for i := 0; i < resp.count; i++ {
+					if resp.mask[i/8]&(1<<(i%8)) != 0 {
+						hits++
+					}
+				}
+				if hits != len(resp.scores) {
+					t.Fatalf("mask sets %d bits, %d scores decoded", hits, len(resp.scores))
+				}
+			} else if len(resp.scores) != resp.count {
+				t.Fatalf("%d scores for count %d", len(resp.scores), resp.count)
+			}
+		}
+	})
+}

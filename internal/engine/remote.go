@@ -14,7 +14,6 @@ package engine
 // serve's StatusShed, applied at the transport layer.
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -24,7 +23,6 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +64,17 @@ type RemoteOptions struct {
 	// hedge fires — see CubicWindow. All replicas of one backend share one
 	// window, so every lane sees one congestion picture per peer.
 	WindowMax int
+	// Transport picks the wire: "http" forces the v1 POST-per-chunk wire,
+	// "socket" requires the v2 persistent-socket wire (dial fails if the
+	// peer does not advertise it), and "auto" (or empty) takes the best
+	// wire the peer's handshake supports. A Model selection always rides
+	// HTTP: the socket wire serves the peer's default backend only.
+	Transport string
+	// NoDedup disables the socket wire's hash-first probe tier: every
+	// frame's pixels cross the wire even when the peer's verdict cache
+	// already knows the answer. For measurement; dedup never changes
+	// scores (the probe key is an exact content hash).
+	NoDedup bool
 }
 
 func (o RemoteOptions) withDefaults() RemoteOptions {
@@ -81,14 +90,27 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 	if o.RetryBackoffMax <= 0 {
 		o.RetryBackoffMax = 250 * time.Millisecond
 	}
+	if o.WindowMax <= 0 {
+		o.WindowMax = windowDefaultMax
+	}
 	if o.Client == nil {
-		o.Client = &http.Client{}
+		// net/http's DefaultMaxIdleConnsPerHost is 2: with a congestion
+		// window of dozens of in-flight chunks to one peer, every burst
+		// would churn fresh TCP connections and then close all but two.
+		// Size the idle pool to the window so a full window's connections
+		// survive between bursts.
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * o.WindowMax,
+			MaxIdleConnsPerHost: o.WindowMax,
+			IdleConnTimeout:     90 * time.Second,
+		}}
 	}
 	return o
 }
 
 // RemoteBackend is a Backend whose forward passes run on a peer
-// percival-serve reached over HTTP. Safe for concurrent use.
+// percival-serve reached over the negotiated transport (HTTP v1 or the
+// persistent-socket v2 wire). Safe for concurrent use.
 type RemoteBackend struct {
 	peer       string // normalized base URL ("http://host:port")
 	batchURL   string // POST target incl. ?model=
@@ -99,10 +121,11 @@ type RemoteBackend struct {
 	retries    int
 	backoff    time.Duration
 	backoffMax time.Duration
-	client     *http.Client
+	client     *http.Client // handshake client; also the HTTP transport's
+	tr         Transport    // shared across replicas, like client and win
+	chunks     *chunkPool   // shared across replicas: amortized chunk bodies
 	win        *CubicWindow // shared across replicas: one window per peer
 
-	bufs    sync.Pool // *[]byte request bodies, reused across chunks
 	batches atomic.Int64
 	frames  atomic.Int64
 	errors  atomic.Int64
@@ -130,6 +153,7 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 		backoff:    opts.RetryBackoff,
 		backoffMax: opts.RetryBackoffMax,
 		client:     opts.Client,
+		chunks:     &chunkPool{},
 		win:        NewCubicWindow(WindowOptions{Max: float64(opts.WindowMax)}),
 	}
 	b.batchURL = base + "/classify/batch"
@@ -143,12 +167,12 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: remote peer %s: %w", u.Host, err)
 	}
-	if info.WireVersion != wireVersion {
-		// refuse a mixed-version fleet at dial time: a version-skewed peer
-		// would deterministically reject every batch, failing all traffic
-		// open while looking healthy
-		return nil, fmt.Errorf("engine: remote peer %s speaks wire version %d, want %d",
-			u.Host, info.WireVersion, wireVersion)
+	if !wireCompatible(info.WireVersion) {
+		// refuse a version-skewed fleet at dial time: a peer outside the
+		// compatibility range would deterministically reject every batch,
+		// failing all traffic open while looking healthy
+		return nil, fmt.Errorf("engine: remote peer %s speaks wire version %d, want %d..%d",
+			u.Host, info.WireVersion, wireVersion, wireVersionSock)
 	}
 	if info.InputRes <= 0 {
 		return nil, fmt.Errorf("engine: remote peer %s: input resolution %d", u.Host, info.InputRes)
@@ -159,7 +183,34 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 	}
 	b.res = info.InputRes
 	b.name = "remote:" + info.Engine + "@" + u.Host
+	if b.tr, err = pickTransport(opts, u.Host, info, b); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// pickTransport negotiates the wire from the dialing side's preference and
+// the peer's handshake. The socket wire needs the peer to speak v2 AND
+// advertise a listener AND serve its default backend (?model= has no socket
+// equivalent); everything else rides HTTP v1.
+func pickTransport(opts RemoteOptions, host string, info ModelzInfo, b *RemoteBackend) (Transport, error) {
+	sockable := info.WireVersion >= wireVersionSock && info.WireAddr != "" && opts.Model == ""
+	switch opts.Transport {
+	case "", "auto":
+		if !sockable {
+			return newHTTPTransport(b.peer, b.batchURL, b.client), nil
+		}
+	case "http":
+		return newHTTPTransport(b.peer, b.batchURL, b.client), nil
+	case "socket":
+		if !sockable {
+			return nil, fmt.Errorf("engine: remote peer %s: socket transport requested but peer offers wire v%d addr %q model %q",
+				host, info.WireVersion, info.WireAddr, opts.Model)
+		}
+	default:
+		return nil, fmt.Errorf("engine: remote transport %q (want auto, http or socket)", opts.Transport)
+	}
+	return newSockTransport(resolveWireAddr(host, info.WireAddr), b.peer, !opts.NoDedup), nil
 }
 
 // handshake fetches and decodes the peer's /modelz document.
@@ -220,19 +271,14 @@ func (b *RemoteBackend) InferBatchInto(frames []*imaging.Bitmap, out []float64) 
 }
 
 func (b *RemoteBackend) inferChunk(frames []*imaging.Bitmap, out []float64) {
-	bufp, _ := b.bufs.Get().(*[]byte)
-	if bufp == nil {
-		bufp = new([]byte)
-	}
-	body := encodeFrames((*bufp)[:0], frames)
-	*bufp = body
-	defer b.bufs.Put(bufp)
+	chunk := b.chunks.get(frames)
+	defer b.chunks.put(chunk)
 	// overall chunk budget: one per-attempt timeout per attempt; backoff
 	// sleeps spend from the same budget, so a retry that cannot finish in
 	// time is abandoned early rather than slept into
 	ctx, cancel := context.WithTimeout(context.Background(), b.timeout*time.Duration(b.retries+1))
 	defer cancel()
-	if err := b.tryChunk(ctx, body, out); err != nil {
+	if err := b.tryChunk(ctx, chunk, out); err != nil {
 		// Fail open: the peer cannot score this chunk and the verdict is
 		// unknown. Score 0 renders the frame — the serving edge's shed
 		// semantics, applied here.
@@ -254,7 +300,7 @@ func (b *RemoteBackend) inferChunk(frames []*imaging.Bitmap, out []float64) {
 // every attempt's round trip feeds the window (growth on success, backoff
 // on a failed attempt) so the in-flight bound tracks what the peer can
 // actually absorb.
-func (b *RemoteBackend) tryChunk(ctx context.Context, body []byte, out []float64) error {
+func (b *RemoteBackend) tryChunk(ctx context.Context, chunk *wireChunk, out []float64) error {
 	if !b.win.Acquire(ctx) {
 		// the window never opened within the chunk budget: the peer is
 		// saturated, which the caller treats like any other chunk failure
@@ -278,7 +324,7 @@ func (b *RemoteBackend) tryChunk(ctx context.Context, body []byte, out []float64
 			}
 		}
 		start := time.Now()
-		retryable, err := b.post(ctx, body, out)
+		retryable, err := b.attempt(ctx, chunk, out)
 		if err == nil {
 			b.batches.Add(1)
 			b.win.OnSuccess(time.Since(start))
@@ -321,37 +367,23 @@ func backoffDelay(attempt int, base, ceil time.Duration) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
-// post runs one HTTP attempt of a chunk, bounded by the per-attempt timeout
-// and the caller's context (hedged dispatch cancels the losing attempt
-// through it). retryable reports whether a further attempt could succeed
-// (transport errors and 5xx yes, 4xx no).
-func (b *RemoteBackend) post(ctx context.Context, body []byte, out []float64) (retryable bool, err error) {
+// attempt runs one transport attempt of a chunk, bounded by the RTO-capped
+// per-attempt timeout and the caller's context (hedged dispatch cancels the
+// losing attempt through it). retryable reports whether a further attempt
+// could succeed (transport errors and 5xx yes, peer rejections no).
+func (b *RemoteBackend) attempt(ctx context.Context, chunk *wireChunk, out []float64) (retryable bool, err error) {
 	timeout := b.timeout
 	if rto := b.win.RTO(); rto > 0 && rto < timeout {
 		// adaptive RTO: once the RTT estimator has warmed up, an attempt
 		// that has outlived mean+4·dev is almost certainly lost — retry it
-		// (or fail over) instead of sleeping out the configured ceiling
+		// (or fail over) instead of sleeping out the configured ceiling.
+		// Living here rather than in the transports keeps the loss-detection
+		// contract identical across wires.
 		timeout = rto
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.batchURL, bytes.NewReader(body))
-	if err != nil {
-		return false, err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := b.client.Do(req)
-	if err != nil {
-		return true, err
-	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode >= 500, fmt.Errorf("engine: peer %s: %s", b.peer, resp.Status)
-	}
-	if err := decodeScoresInto(resp.Body, out); err != nil {
-		return true, err
-	}
-	return false, nil
+	return b.tr.roundTrip(ctx, chunk, out)
 }
 
 // Window returns the peer's shared congestion window.
@@ -364,10 +396,14 @@ func (b *RemoteBackend) WindowStats() []WindowStat {
 	return []WindowStat{st}
 }
 
-// Replicate returns a proxy to the same peer sharing this backend's HTTP
-// client (one connection pool per fleet) and congestion window (one
-// in-flight picture per peer) with its own counters — the per-shard
-// replica serve dispatch wants.
+// TransportStats reports the negotiated transport's byte and dedup
+// accounting (shared across replicas, like the transport itself).
+func (b *RemoteBackend) TransportStats() TransportStats { return b.tr.Stats() }
+
+// Replicate returns a proxy to the same peer sharing this backend's
+// transport (one connection picture per peer), chunk pool and congestion
+// window with its own counters — the per-shard replica serve dispatch
+// wants.
 func (b *RemoteBackend) Replicate() Backend {
 	return &RemoteBackend{
 		peer:       b.peer,
@@ -380,25 +416,35 @@ func (b *RemoteBackend) Replicate() Backend {
 		backoff:    b.backoff,
 		backoffMax: b.backoffMax,
 		client:     b.client,
+		tr:         b.tr,
+		chunks:     b.chunks,
 		win:        b.win,
 	}
 }
 
-// Warm pings the peer so the connection pool holds a live connection before
-// the first real dispatch. The peer warms its own arenas at startup. A peer
-// that is already dead at warm time is an operational signal, not a silent
-// no-op: the failure is logged and counted in Stats.Errors so it shows up
-// on /metrics before the first real dispatch discovers it.
+// Warm pings the peer so a live connection exists before the first real
+// dispatch: the /modelz handshake warms the HTTP pool, and the transport
+// pre-establishes whatever else it needs (the socket wire dials its hot
+// connection). The peer warms its own arenas at startup. A peer that is
+// already dead at warm time is an operational signal, not a silent no-op:
+// the failure is logged and counted in Stats.Errors so it shows up on
+// /metrics before the first real dispatch discovers it.
 func (b *RemoteBackend) Warm(maxBatch int) {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+	defer cancel()
 	if _, err := b.handshake(b.modelzURL); err != nil {
+		b.errors.Add(1)
+		log.Printf("engine: warm %s: %v", b.peer, err)
+	} else if err := b.tr.warm(ctx); err != nil {
 		b.errors.Add(1)
 		log.Printf("engine: warm %s: %v", b.peer, err)
 	}
 }
 
-// Close releases idle connections. The shared client stays usable for
-// sibling replicas; their Close calls are idempotent.
-func (b *RemoteBackend) Close() { b.client.CloseIdleConnections() }
+// Close releases the transport's connections. The transport is shared and
+// non-terminal: sibling replicas stay usable (the next dispatch
+// re-establishes what it needs) and Close is idempotent.
+func (b *RemoteBackend) Close() { b.tr.Close() }
 
 // drainClose consumes the rest of an HTTP response body so the connection
 // can be reused, then closes it.

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -86,6 +88,84 @@ func TestWireRejectsMalformedBatches(t *testing.T) {
 	}
 }
 
+// TestWireFrameSizeOverflow: regression for the decodeFrames size guard
+// computing w*h*4 in int — 32768x32768x4 is exactly 2^32, which wraps to 0
+// on 32-bit platforms and sails past the byte bound. The guard must do the
+// arithmetic in int64 and reject the frame on every platform.
+func TestWireFrameSizeOverflow(t *testing.T) {
+	good := encodeFrames(nil, synth.SampleFrames(3, 1))
+	b := append([]byte{}, good[:wireHeaderLen]...)
+	var dims [8]byte
+	// both edges at the maxWireEdge limit: the per-edge checks pass, only
+	// the (overflow-prone) byte bound can reject it
+	binary.LittleEndian.PutUint32(dims[0:4], 1<<15)
+	binary.LittleEndian.PutUint32(dims[4:8], 1<<15)
+	b = append(b, dims[:]...)
+	if frames, err := decodeFrames(bytes.NewReader(b)); err == nil {
+		t.Fatalf("2^32-byte frame accepted (%d frames decoded)", len(frames))
+	}
+}
+
+// TestBatchHandlerContentLengthAndCounters: the batch endpoint must declare
+// Content-Length on its binary response (the body is fully assembled before
+// the write) and account the exchange in the wire counters, including
+// failed writes.
+func TestBatchHandlerContentLengthAndCounters(t *testing.T) {
+	net, res := testNet(t, 16)
+	local := NewFP32(net, res)
+	defer local.Close()
+	ts := newPeer(t, nil, local)
+
+	before := WireHTTPStats()
+	frames := synth.SampleFrames(5, 3)
+	body := encodeFrames(nil, frames)
+	resp, err := http.Post(ts.URL+"/classify/batch", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	wantLen := int64(wireHeaderLen + 8*len(frames))
+	if resp.ContentLength != wantLen {
+		t.Fatalf("Content-Length %d, want %d", resp.ContentLength, wantLen)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(payload)) != wantLen {
+		t.Fatalf("body %d bytes, want %d", len(payload), wantLen)
+	}
+	after := WireHTTPStats()
+	if after.Requests != before.Requests+1 {
+		t.Fatalf("requests %d -> %d, want +1", before.Requests, after.Requests)
+	}
+	if after.BytesIn-before.BytesIn != int64(len(body)) {
+		t.Fatalf("bytesIn moved %d, want %d", after.BytesIn-before.BytesIn, len(body))
+	}
+	if after.BytesOut-before.BytesOut != wantLen {
+		t.Fatalf("bytesOut moved %d, want %d", after.BytesOut-before.BytesOut, wantLen)
+	}
+}
+
+// TestRemoteDefaultClientIdleConns: the default HTTP client must keep a
+// congestion window's worth of idle connections per peer — net/http's
+// default of 2 would churn TCP setup on every >2-deep burst.
+func TestRemoteDefaultClientIdleConns(t *testing.T) {
+	o := RemoteOptions{}.withDefaults()
+	tr, ok := o.Client.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport %T, want *http.Transport", o.Client.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != o.WindowMax || tr.MaxIdleConnsPerHost < 3 {
+		t.Fatalf("MaxIdleConnsPerHost %d, want WindowMax %d", tr.MaxIdleConnsPerHost, o.WindowMax)
+	}
+	// an explicit client is never overridden
+	c := &http.Client{}
+	if o2 := (RemoteOptions{Client: c}).withDefaults(); o2.Client != c {
+		t.Fatal("explicit client replaced by defaults")
+	}
+}
+
 // TestRemoteMatchesLocalBackend is the tentpole's correctness anchor: a
 // frame proxied over the wire must score exactly what the peer's backend
 // scores locally — same pre-processing, same forward pass, bit-identical
@@ -143,14 +223,35 @@ func TestRemoteHandshake(t *testing.T) {
 		t.Fatal("invalid address not rejected")
 	}
 
-	// a version-skewed peer must be refused at dial time, not fail every
-	// batch open at runtime
+	// a version-skewed peer (past the whole [v1, v2] acceptance range) must
+	// be refused at dial time, not fail every batch open at runtime
 	skew := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(ModelzInfo{WireVersion: wireVersion + 1, Engine: "fp32", InputRes: res})
+		json.NewEncoder(w).Encode(ModelzInfo{WireVersion: wireVersionSock + 1, Engine: "fp32", InputRes: res})
 	}))
 	defer skew.Close()
 	if _, err := NewRemote(skew.URL, RemoteOptions{}); err == nil {
 		t.Fatal("wire-version skew not rejected")
+	}
+
+	// a wire-v2 peer is inside the range: a v1-only proxy preference and the
+	// auto negotiation must both interoperate with it over HTTP when it
+	// advertises no socket listener
+	v2http := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(ModelzInfo{WireVersion: wireVersionSock, Engine: "fp32", InputRes: res})
+	}))
+	defer v2http.Close()
+	rb, err := NewRemote(v2http.URL, RemoteOptions{})
+	if err != nil {
+		t.Fatalf("v2 peer without socket listener rejected: %v", err)
+	}
+	if rb.tr.Kind() != "http" {
+		t.Fatalf("negotiated %s transport for a peer with no wire addr, want http", rb.tr.Kind())
+	}
+
+	// requesting the socket wire from a peer that cannot serve it is a
+	// deployment error, refused at dial time
+	if _, err := NewRemote(v2http.URL, RemoteOptions{Transport: "socket"}); err == nil {
+		t.Fatal("socket transport against socketless peer not rejected")
 	}
 }
 

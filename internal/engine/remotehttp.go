@@ -6,23 +6,52 @@ package engine
 // Keeping encoder, decoder and handlers in one file means the two sides of
 // the wire can never silently diverge.
 //
-// Batch request body (little-endian):
+// Wire v1 — one message per HTTP exchange. Batch request body
+// (little-endian):
 //
 //	magic   "PCVB"            4 bytes
-//	version uint16            currently 1
+//	version uint16            1
 //	count   uint32            frames in the batch
 //	frame   w uint32, h uint32, then w*h*4 RGBA bytes, count times
 //
 // Batch response body:
 //
 //	magic   "PCVS"            4 bytes
-//	version uint16
+//	version uint16            1
 //	count   uint32            must equal the request count
 //	score   float64 bits (ad-class probability), count times
 //
+// Wire v2 — the persistent-socket framing (sockwire.go): the same magics
+// and little-endian layout, carried as multiplexed messages over one hot
+// TCP connection instead of one HTTP exchange each. Every message header
+// grows a request ID (echoed by the response, so responses may arrive out
+// of order) and a flags word:
+//
+//	magic   "PCVB"/"PCVS"     4 bytes
+//	version uint16            2
+//	id      uint32            request ID, echoed by the response
+//	flags   uint32            sockFlagProbe (request) / sockFlagMask (response)
+//	count   uint32            entries that follow
+//
+// A request with sockFlagProbe carries count × (32-byte content key +
+// 8-byte perceptual hash) — the hash-first dedup tier: the peer answers
+// from its verdict cache and never sees the pixels. Its response carries
+// sockFlagMask: a ceil(count/8) hit bitmask followed by one float64 score
+// per set bit. A request without sockFlagProbe carries count ×
+// (32-byte content key + w uint32 + h uint32 + w*h*4 RGBA bytes) — pixels
+// for the probe misses, keyed so the peer can store the verdicts it scores
+// without re-hashing; its response is count × float64 scores, v1-style.
+//
+// Which framing a peer speaks is negotiated through /modelz: wire_version
+// is the highest version the peer accepts, and wire_addr names its socket
+// listener (empty = HTTP only). A v2 proxy falls back to per-request HTTP
+// v1 against a v1 peer, so mixed fleets interoperate during rollout.
+//
 // Frames travel at their original resolution: the peer runs the exact same
 // pre-processing (ResizeBilinearInto + ToTensorInto) an in-process backend
-// would, so a proxied verdict is bit-identical to local dispatch.
+// would, so a proxied verdict is bit-identical to local dispatch — and a
+// dedup hit is answered from a cache filled by those same model runs, so
+// it is bit-identical too.
 
 import (
 	"bufio"
@@ -32,6 +61,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 
 	"percival/internal/imaging"
 )
@@ -40,6 +71,11 @@ const (
 	batchMagic  = "PCVB"
 	scoreMagic  = "PCVS"
 	wireVersion = 1
+	// wireVersionSock is the persistent-socket framing version (sockwire.go).
+	// A peer's /modelz advertises the highest version it speaks; proxies
+	// accept any version in [wireVersion, wireVersionSock] and pick the
+	// transport the peer's handshake supports.
+	wireVersionSock = 2
 	// wireHeaderLen is the shared magic+version+count prefix length.
 	wireHeaderLen = 4 + 2 + 4
 	// maxWireFrames bounds one batch request; a proxy chunks by BatchChunk,
@@ -90,7 +126,10 @@ func decodeFrames(r io.Reader) ([]*imaging.Bitmap, error) {
 		}
 		w := int(binary.LittleEndian.Uint32(dims[0:4]))
 		h := int(binary.LittleEndian.Uint32(dims[4:8]))
-		if w <= 0 || h <= 0 || w > maxWireEdge || h > maxWireEdge || w*h*4 > maxWireFrameBytes {
+		// the byte-size bound is computed in int64: on a 32-bit platform
+		// w*h*4 wraps for max-edge headers (32768×32768×4 = 2^32), letting a
+		// lying header pass validation with a negative or tiny product
+		if w <= 0 || h <= 0 || w > maxWireEdge || h > maxWireEdge || int64(w)*int64(h)*4 > maxWireFrameBytes {
 			return nil, fmt.Errorf("engine: frame %d is %dx%d", i, w, h)
 		}
 		b := imaging.NewBitmap(w, h)
@@ -150,6 +189,48 @@ func selectWire(reg *Registry, def Backend, r *http.Request) Backend {
 	return def
 }
 
+// httpWire carries the server-side counters of the HTTP batch endpoint —
+// the /metrics view of satellite traffic a front proxies here. WriteErrors
+// is the interesting one: a response write that failed mid-stream surfaces
+// client-side as a confusing truncation error, so the serving side must
+// count it as its own signal.
+var httpWire struct {
+	requests    atomic.Int64
+	bytesIn     atomic.Int64
+	bytesOut    atomic.Int64
+	writeErrors atomic.Int64
+}
+
+// HTTPWireStats is a snapshot of the HTTP batch endpoint's wire counters.
+type HTTPWireStats struct {
+	Requests    int64
+	BytesIn     int64
+	BytesOut    int64
+	WriteErrors int64
+}
+
+// WireHTTPStats snapshots the process-wide HTTP batch-endpoint counters.
+func WireHTTPStats() HTTPWireStats {
+	return HTTPWireStats{
+		Requests:    httpWire.requests.Load(),
+		BytesIn:     httpWire.bytesIn.Load(),
+		BytesOut:    httpWire.bytesOut.Load(),
+		WriteErrors: httpWire.writeErrors.Load(),
+	}
+}
+
+// countingReader counts bytes drawn from an HTTP request body.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 // BatchHandler serves POST /classify/batch: length-prefixed raw-RGBA frames
 // in, scores out, one forward pass per request (clients chunk by BatchChunk,
 // so a well-behaved request is exactly one forward pass on the selected
@@ -159,7 +240,9 @@ func BatchHandler(reg *Registry, def Backend) http.HandlerFunc {
 	// one well-behaved request is at most BatchChunk max-size frames
 	const maxBatchBody = BatchChunk*(maxWireFrameBytes+8) + wireHeaderLen
 	return func(w http.ResponseWriter, r *http.Request) {
-		frames, err := decodeFrames(http.MaxBytesReader(w, r.Body, maxBatchBody))
+		httpWire.requests.Add(1)
+		body := countingReader{r: http.MaxBytesReader(w, r.Body, maxBatchBody), n: &httpWire.bytesIn}
+		frames, err := decodeFrames(body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -167,18 +250,36 @@ func BatchHandler(reg *Registry, def Backend) http.HandlerFunc {
 		b := selectWire(reg, def, r)
 		scores := make([]float64, len(frames))
 		b.InferBatchInto(frames, scores)
+		payload := encodeScores(make([]byte, 0, wireHeaderLen+8*len(scores)), scores)
+		// Content-Length lets the client distinguish a truncated score
+		// stream from a complete one instead of hitting an opaque decode
+		// error, and keeps the connection reusable without chunked framing.
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(encodeScores(make([]byte, 0, wireHeaderLen+8*len(scores)), scores))
+		w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		if _, err := w.Write(payload); err != nil {
+			// the client is gone or the connection broke mid-response; the
+			// forward pass is already spent, so make the loss observable
+			httpWire.writeErrors.Add(1)
+			return
+		}
+		httpWire.bytesOut.Add(int64(len(payload)))
 	}
 }
 
 // ModelzInfo is the GET /modelz handshake payload: everything a proxy needs
 // to validate a peer before routing traffic to it.
 type ModelzInfo struct {
-	// WireVersion is the /classify/batch format version the peer speaks; a
-	// proxy refuses a version-skewed peer at dial time, because every batch
-	// would deterministically fail open otherwise.
+	// WireVersion is the highest wire version the peer speaks (1 = HTTP
+	// /classify/batch only, 2 = the persistent-socket framing as well). A
+	// proxy refuses a peer outside its own [wireVersion, wireVersionSock]
+	// compatibility range at dial time, because every batch would
+	// deterministically fail open otherwise; inside the range it picks the
+	// best transport both ends support.
 	WireVersion int `json:"wire_version"`
+	// WireAddr is the peer's persistent-socket listener ("host:port"; an
+	// empty or wildcard host is resolved against the peer's HTTP host).
+	// Empty means HTTP only — the v1 fallback every proxy can ride.
+	WireAddr string `json:"wire_addr,omitempty"`
 	// Engine is the backend that would serve a batch with the same ?model=.
 	Engine string `json:"engine"`
 	// InputRes is that backend's network input resolution; a proxy refuses
@@ -190,9 +291,22 @@ type ModelzInfo struct {
 	Backends []string `json:"backends,omitempty"`
 }
 
-// ModelzHandler serves GET /modelz, the proxy handshake. ?model= reports
-// the entry a batch request with the same parameter would hit.
+// ModelzHandler serves GET /modelz, the proxy handshake, for an HTTP-only
+// peer (wire v1, no socket listener). ?model= reports the entry a batch
+// request with the same parameter would hit.
 func ModelzHandler(reg *Registry, def Backend, threshold float64) http.HandlerFunc {
+	return ModelzHandlerWire(reg, def, threshold, "")
+}
+
+// ModelzHandlerWire is ModelzHandler for a peer that also mounts the
+// persistent-socket wire listener at wireAddr: the handshake advertises
+// wire v2 and the listener address, so dialing proxies negotiate the socket
+// transport. An empty wireAddr degrades to the plain v1 handshake.
+func ModelzHandlerWire(reg *Registry, def Backend, threshold float64, wireAddr string) http.HandlerFunc {
+	version := wireVersion
+	if wireAddr != "" {
+		version = wireVersionSock
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		b := selectWire(reg, def, r)
 		var names []string
@@ -201,7 +315,8 @@ func ModelzHandler(reg *Registry, def Backend, threshold float64) http.HandlerFu
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(ModelzInfo{
-			WireVersion: wireVersion,
+			WireVersion: version,
+			WireAddr:    wireAddr,
 			Engine:      b.Name(),
 			InputRes:    b.InputRes(),
 			Threshold:   threshold,

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math/bits"
+	"sync"
 )
 
 // ContentHash returns a collision-resistant digest of the exact pixel
@@ -22,12 +23,51 @@ func ContentHash(b *Bitmap) [32]byte {
 	return out
 }
 
+// ContentKey is the canonical verdict-cache key shared by the serving layer
+// and the remote-dispatch wire: SHA-256 of the pixel buffer with the
+// dimensions XOR-folded into the leading bytes, so two buffers of equal
+// byte-length but different shapes cannot collide. Computed with
+// sha256.Sum256 (stack-allocated state), so keying a frame on the submit or
+// dispatch hot path performs no heap allocation — unlike ContentHash, whose
+// hash.Hash interface forces its state to escape. A remote peer answering a
+// hash probe from its cache and the local serve layer memoizing a verdict
+// must agree on this key byte-for-byte.
+func ContentKey(b *Bitmap) [32]byte {
+	k := sha256.Sum256(b.Pix)
+	var dims [8]byte
+	binary.LittleEndian.PutUint32(dims[0:], uint32(b.W))
+	binary.LittleEndian.PutUint32(dims[4:], uint32(b.H))
+	for i, d := range dims {
+		k[i] ^= d
+	}
+	return k
+}
+
 // PerceptualHash computes an 8×8 average hash: the image is downscaled to
 // 8×8 grayscale and each bit records whether that cell is brighter than the
 // mean. Visually-similar images (rescaled, recompressed ad creatives) map to
 // nearby hashes; the crawler treats small Hamming distances as duplicates.
 func PerceptualHash(b *Bitmap) uint64 {
-	small := ResizeBilinear(b, 8, 8)
+	return averageHash(ResizeBilinear(b, 8, 8))
+}
+
+// phashScratch pools the 8×8 downscale buffers PerceptualHashPooled reuses.
+var phashScratch = sync.Pool{New: func() any { return NewBitmap(8, 8) }}
+
+// PerceptualHashPooled is PerceptualHash on a pooled downscale buffer:
+// bit-identical output, zero steady-state heap allocation (ResizeBilinearInto
+// reuses its cached interpolation tables). The remote-dispatch wire hashes
+// every frame it probes, so the per-frame cost must not allocate.
+func PerceptualHashPooled(b *Bitmap) uint64 {
+	small := phashScratch.Get().(*Bitmap)
+	ResizeBilinearInto(b, small)
+	h := averageHash(small)
+	phashScratch.Put(small)
+	return h
+}
+
+// averageHash computes the aHash bits of an already-downscaled 8×8 frame.
+func averageHash(small *Bitmap) uint64 {
 	var gray [64]float64
 	var mean float64
 	for i := 0; i < 64; i++ {

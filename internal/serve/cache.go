@@ -1,30 +1,21 @@
 package serve
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"sync"
 
 	"percival/internal/imaging"
 )
 
-// frameKey is the content-hash cache key: SHA-256 of the pixel buffer with
-// the dimensions folded into the leading bytes, so two buffers of equal
-// byte-length but different shapes cannot collide. Computed with
-// sha256.Sum256 (stack-allocated state), so hashing a frame on the submit
-// hot path performs no heap allocation — unlike imaging.ContentHash, whose
-// hash.Hash interface forces its state to escape.
+// frameKey is the content-hash cache key — imaging.ContentKey, the canonical
+// zero-alloc key shared with the remote-dispatch wire. Using the shared
+// computation (rather than a serve-private hash) is what lets a peer answer
+// a wire hash probe straight from this cache: the proxy keys a frame once
+// and the peer's lookup agrees byte-for-byte.
 type frameKey [32]byte
 
 func hashFrame(b *imaging.Bitmap) frameKey {
-	k := frameKey(sha256.Sum256(b.Pix))
-	var dims [8]byte
-	binary.LittleEndian.PutUint32(dims[0:], uint32(b.W))
-	binary.LittleEndian.PutUint32(dims[4:], uint32(b.H))
-	for i, d := range dims {
-		k[i] ^= d
-	}
-	return k
+	return frameKey(imaging.ContentKey(b))
 }
 
 // cacheShard is one lock domain of the sharded verdict cache: a bounded

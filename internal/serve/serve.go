@@ -432,6 +432,31 @@ func (s *Server) CacheLen() int {
 	return n
 }
 
+// LookupVerdict reports a memoized verdict by its imaging.ContentKey —
+// the read half of engine.VerdictCache. The wire listener answers hash
+// probes from the same sharded cache /classify fills, so a creative this
+// daemon has already scored never pulls pixels over the wire again.
+func (s *Server) LookupVerdict(key [32]byte) (float64, bool) {
+	k := frameKey(key)
+	ch := s.shardFor(k).cache.shard(k)
+	ch.mu.Lock()
+	v, ok := ch.m[k]
+	ch.mu.Unlock()
+	return v, ok
+}
+
+// StoreVerdict memoizes a verdict scored on behalf of a wire peer — the
+// write half of engine.VerdictCache. Routed through the same shard geometry
+// as Submit, so wire-scored and locally-scored verdicts share one bounded
+// cache.
+func (s *Server) StoreVerdict(key [32]byte, score float64) {
+	k := frameKey(key)
+	ch := s.shardFor(k).cache.shard(k)
+	ch.mu.Lock()
+	ch.put(k, score)
+	ch.mu.Unlock()
+}
+
 // ResetCache drops all memoized verdicts (creative-rotation epoch).
 func (s *Server) ResetCache() {
 	for _, sh := range s.shards {

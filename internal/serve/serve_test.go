@@ -147,6 +147,32 @@ func TestCacheHitSkipsModel(t *testing.T) {
 	}
 }
 
+// TestVerdictCacheView: the engine.VerdictCache view over the serving
+// cache (LookupVerdict/StoreVerdict, keyed by imaging.ContentKey) must be
+// the same store Submit memoizes into — that identity is what lets a wire
+// peer answer a remote front's hash probe from verdicts the local serving
+// edge already produced, and vice versa.
+func TestVerdictCacheView(t *testing.T) {
+	s := testServer(t, core.Options{}, Options{Workers: 1})
+	f := synth.SampleFrames(29, 1)[0]
+	if _, ok := s.LookupVerdict(imaging.ContentKey(f)); ok {
+		t.Fatal("verdict visible before any classification")
+	}
+	r := s.Submit(f)
+	v, ok := s.LookupVerdict(imaging.ContentKey(f))
+	if !ok || v != r.Score {
+		t.Fatalf("LookupVerdict (%v, %v) after Submit scored %v", v, ok, r.Score)
+	}
+
+	// a wire-stored verdict must serve later Submits as a cache hit
+	g := synth.SampleFrames(31, 1)[0]
+	s.StoreVerdict(imaging.ContentKey(g), 0.625)
+	res := s.Submit(g)
+	if res.Status != StatusCached || res.Score != 0.625 {
+		t.Fatalf("Submit after StoreVerdict got %+v, want cached 0.625", res)
+	}
+}
+
 // TestInflightCoalescingWithCacheDisabled: concurrent submissions of the
 // same frame must share one model run even without memoization.
 func TestInflightCoalescingWithCacheDisabled(t *testing.T) {
