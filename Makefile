@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/... ./internal/faultinject/...
+	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/... ./internal/faultinject/... ./internal/metrics/...
 
 # Native Go fuzzing smoke pass over the decoders that face untrusted input
 # (EasyList rules, HTML, the persistent-socket wire framing). Each fuzzer
@@ -49,25 +49,28 @@ chaos:
 
 # Headline benchmark snapshot: runs the perf-trajectory benchmarks (FP32 and
 # INT8 inference, serve-vs-sync throughput, the shard-count sweep, the
-# two-tier remote-dispatch rotation and the fault-injected fleet-health row
-# at concurrency 8, stem GEMMs, resize, training epoch) plus the INT8
-# accuracy-parity comparison, and writes BENCH_6.json.
+# pinned-lane multi-core row, the two-tier remote-dispatch rotation and the
+# fault-injected fleet-health row at concurrency 8, stem GEMMs, resize,
+# training epoch) plus the GOMAXPROCS core-count sweep and the INT8
+# accuracy-parity comparison, and writes BENCH_9.json.
 #
 # BENCH_SMOKE=1 instead runs one iteration of every inference/serving
 # headline benchmark (both engines, all shard counts, the sync baselines,
-# a training epoch) plus the stem GEMM kernels, and compiles the snapshot
-# tool — the CI gate that catches harness breakage without paying for a
-# full trajectory run. ServeOverload8x2 rides in the BenchmarkServe match
-# and is itself a gate: it fails the run unless the brownout ladder
-# engages, releases, and holds goodput under 2x offered load. Not covered
-# at runtime: the eval parity experiment (compile-only via the tool build).
+# a training epoch) plus the stem GEMM kernels, a GOMAXPROCS=4 run of the
+# pinned-lane multi-core row, and compiles the snapshot tool — the CI gate
+# that catches harness breakage without paying for a full trajectory run.
+# ServeOverload8x2 rides in the BenchmarkServe match and is itself a gate:
+# it fails the run unless the brownout ladder engages, releases, and holds
+# goodput under 2x offered load. Not covered at runtime: the eval parity
+# experiment (compile-only via the tool build).
 bench:
 ifdef BENCH_SMOKE
 	$(GO) test -run=NONE -bench='BenchmarkInfer|BenchmarkServe|BenchmarkSync|BenchmarkTrainingEpoch' -benchtime=1x .
+	GOMAXPROCS=4 $(GO) test -run=NONE -bench='BenchmarkServeRotationPinned' -benchtime=1x .
 	$(GO) test -run=NONE -bench='BenchmarkGemm|BenchmarkQGemm' -benchtime=1x ./internal/tensor/
 	$(GO) build -o /dev/null ./cmd/percival-bench
 else
-	$(GO) run ./cmd/percival-bench -out BENCH_6.json
+	$(GO) run ./cmd/percival-bench -out BENCH_9.json
 endif
 
 # Full benchmark sweep (slow: regenerates every paper figure).

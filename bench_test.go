@@ -148,6 +148,12 @@ func BenchmarkServeRotation8x2Int8(b *testing.B) { benchsuite.ServeRotation8x2In
 // BenchmarkServeRotation8x4 is the 4-shard rotation benchmark.
 func BenchmarkServeRotation8x4(b *testing.B) { benchsuite.ServeRotation8x4(b) }
 
+// BenchmarkServeRotationPinned is the core-pinned lane rotation benchmark:
+// one OS-thread-locked dispatch lane per GOMAXPROCS slot with the GEMM pool
+// partitioned across lanes. Run it under different GOMAXPROCS values (the
+// core_sweep section of BENCH_9.json does) to trace multi-core scaling.
+func BenchmarkServeRotationPinned(b *testing.B) { benchsuite.ServeRotationPinned(b) }
+
 // BenchmarkServeRemote8x2 is the two-tier rotation benchmark: 2 dispatch
 // shards proxying every forward pass to two backend replicas over loopback
 // HTTP (engine.RemoteBackend). Its delta against BenchmarkServeRotation8x2

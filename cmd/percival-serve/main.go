@@ -20,6 +20,11 @@
 //	percival-serve                        # train a reduced-scale model, serve on :8093
 //	percival-serve -res 224 -int8         # paper-scale INT8 engine
 //	percival-serve -shards 4 -adaptive    # sharded dispatch, AIMD linger
+//	percival-serve -shards 4 -lanes       # multi-core: one OS-thread-locked,
+//	                                      # core-pinned dispatch lane per shard
+//	                                      # with the GEMM worker pool
+//	                                      # partitioned across the lanes
+//	                                      # (per-lane counters on /metrics)
 //	percival-serve -admission             # unified admission controller: the
 //	                                      # graded brownout ladder gates the
 //	                                      # queue door and co-adapts linger,
@@ -87,6 +92,7 @@ func main() {
 		int8Flag    = flag.Bool("int8", false, "quantize and serve the INT8 engine (parity-gated)")
 		backendName = flag.String("backend", "auto", "serving backend: fp32, int8, or auto (the parity-gated default)")
 		shards      = flag.Int("shards", 1, "dispatch shards (content-hash range partitions, each with its own batcher and backend replica)")
+		lanes       = flag.Bool("lanes", false, "pin one dispatch lane per shard to its own OS thread and core, and partition the GEMM worker pool across the lanes (multi-core serving; overrides -workers)")
 		adaptive    = flag.Bool("adaptive", false, "adapt the batch linger with the AIMD policy instead of the fixed -linger")
 		admission   = flag.Bool("admission", false, "run the unified admission controller: graded brownout (cache-only -> degraded -> shed) gates the queue door and co-adapts linger, batch cap and shed deadline; wraps the -adaptive AIMD policy or the fixed -linger")
 		workers     = flag.Int("workers", 0, "dispatch workers across all shards (0 = GOMAXPROCS)")
@@ -166,6 +172,7 @@ func main() {
 		Deadline:   *deadline,
 		CacheSize:  *cacheSize,
 		Shards:     *shards,
+		PinLanes:   *lanes,
 		Backend:    backend,
 	}
 	switch {

@@ -1,0 +1,32 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFailfParksDrawFailure pins the percival-bench redraw contract: under
+// testing.Benchmark there is no test runner attached to b, so failf must not
+// Fatalf (nil-deref) or panic (kills the whole snapshot binary) — it parks
+// the message for TakeDrawFailure and exits the draw's goroutine, letting
+// the snapshot redraw a gate row that flunked on hypervisor noise.
+func TestFailfParksDrawFailure(t *testing.T) {
+	TakeDrawFailure() // drain any stale state
+
+	ran := false
+	testing.Benchmark(func(b *testing.B) {
+		ran = true
+		failf(b, "synthetic gate failure %d", 42)
+		t.Error("failf returned; want Goexit out of the draw")
+	})
+	if !ran {
+		t.Fatal("benchmark body never ran")
+	}
+	got := TakeDrawFailure()
+	if !strings.Contains(got, "synthetic gate failure 42") {
+		t.Fatalf("TakeDrawFailure() = %q, want the parked failf message", got)
+	}
+	if again := TakeDrawFailure(); again != "" {
+		t.Fatalf("second TakeDrawFailure() = %q, want empty (drained)", again)
+	}
+}

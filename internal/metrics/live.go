@@ -7,25 +7,67 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// Counter is a monotonically increasing concurrency-safe counter.
-type Counter struct {
+// Hot-path writes are striped: a single atomic.Int64 shared by 8 submitting
+// cores bounces one cache line between them on every Inc/Observe, and the
+// core-sweep bench showed the serve counters doing exactly that. Each
+// Counter (and each Histogram's total/sum pair) therefore spreads its
+// writes across stripeCount cache-line-padded cells, picking a cell via the
+// runtime's per-P cheap random (math/rand/v2's top-level functions), and
+// readers sum the cells. On single-CPU machines striping buys nothing, so
+// stripeMask collapses to cell 0 and skips the random draw.
+const stripeCount = 8
+
+var stripeMask = func() uint64 {
+	if runtime.NumCPU() < 2 {
+		return 0
+	}
+	return stripeCount - 1
+}()
+
+func stripeIdx() uint64 {
+	if stripeMask == 0 {
+		return 0
+	}
+	return rand.Uint64() & stripeMask
+}
+
+// counterCell is one padded stripe: the value plus enough padding to keep
+// adjacent cells on distinct 64-byte cache lines.
+type counterCell struct {
 	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing concurrency-safe counter. The zero
+// value is ready to use; writes stripe across padded cells so concurrent
+// writers on different cores do not serialize on one cache line.
+type Counter struct {
+	cells [stripeCount]counterCell
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.cells[stripeIdx()].v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) { c.cells[stripeIdx()].v.Add(n) }
 
-// Load returns the current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
+// Load returns the current value (the sum across stripes; monitoring-grade
+// consistency under concurrent writes, same as before striping).
+func (c *Counter) Load() int64 {
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].v.Load()
+	}
+	return s
+}
 
 // DefaultLatencyBucketsMS is the exponential bucket ladder used for serving
 // latency histograms, in milliseconds. The top bucket is implicit (+Inf).
@@ -33,16 +75,25 @@ var DefaultLatencyBucketsMS = []float64{
 	0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
 }
 
-// Histogram is a fixed-bucket concurrency-safe histogram. Observe is a
-// bucket search plus two atomic adds: safe to call from every request
-// goroutine with zero allocation.
-type Histogram struct {
-	bounds []float64      // upper bounds, ascending; last bucket is +Inf
-	counts []atomic.Int64 // len(bounds)+1
-	total  atomic.Int64
-	// sumMicro accumulates the sum in integer micro-units (value * 1e3 for
-	// millisecond observations) so it can be a plain atomic add.
+// histSumCell is one padded stripe of a histogram's sample-count/sum pair.
+type histSumCell struct {
+	total    atomic.Int64
 	sumMicro atomic.Int64
+	_        [48]byte
+}
+
+// Histogram is a fixed-bucket concurrency-safe histogram. Observe is a
+// bucket search plus striped atomic adds: safe to call from every request
+// goroutine with zero allocation and no shared cache line between writers
+// on different cores (see the striping note above Counter).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; last bucket is +Inf
+	// counts holds stripes× rows of per-bucket counters; each row is padded
+	// to a whole number of cache lines so stripes never share one.
+	counts  []atomic.Int64
+	stride  int // padded row length: len(bounds)+1 rounded up to 8
+	stripes int
+	sums    []histSumCell // one padded total/sum pair per stripe
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds
@@ -56,7 +107,15 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	stripes := int(stripeMask) + 1
+	stride := (len(b) + 1 + 7) &^ 7
+	return &Histogram{
+		bounds:  b,
+		counts:  make([]atomic.Int64, stripes*stride),
+		stride:  stride,
+		stripes: stripes,
+		sums:    make([]histSumCell, stripes),
+	}
 }
 
 // Observe records one sample.
@@ -66,20 +125,43 @@ func (h *Histogram) Observe(v float64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.total.Add(1)
-	h.sumMicro.Add(int64(v * 1e3))
+	s := stripeIdx()
+	h.counts[int(s)*h.stride+i].Add(1)
+	cell := &h.sums[s]
+	cell.total.Add(1)
+	cell.sumMicro.Add(int64(v * 1e3))
+}
+
+// bucketCount sums bucket i across stripes.
+func (h *Histogram) bucketCount(i int) int64 {
+	var s int64
+	for st := 0; st < h.stripes; st++ {
+		s += h.counts[st*h.stride+i].Load()
+	}
+	return s
 }
 
 // N returns the number of recorded samples.
-func (h *Histogram) N() int64 { return h.total.Load() }
+func (h *Histogram) N() int64 {
+	var s int64
+	for i := range h.sums {
+		s += h.sums[i].total.Load()
+	}
+	return s
+}
 
 // Sum returns the sum of all recorded samples.
-func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e3 }
+func (h *Histogram) Sum() float64 {
+	var s int64
+	for i := range h.sums {
+		s += h.sums[i].sumMicro.Load()
+	}
+	return float64(s) / 1e3
+}
 
 // Mean returns the sample mean, or 0 for an empty histogram.
 func (h *Histogram) Mean() float64 {
-	n := h.total.Load()
+	n := h.N()
 	if n == 0 {
 		return 0
 	}
@@ -89,7 +171,7 @@ func (h *Histogram) Mean() float64 {
 // Quantile estimates the q-th quantile (0..1) by linear interpolation within
 // the containing bucket. The +Inf bucket reports its lower bound.
 func (h *Histogram) Quantile(q float64) float64 {
-	n := h.total.Load()
+	n := h.N()
 	if n == 0 {
 		return 0
 	}
@@ -101,8 +183,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(n)
 	var cum int64
-	for i := range h.counts {
-		c := h.counts[i].Load()
+	for i := 0; i <= len(h.bounds); i++ {
+		c := h.bucketCount(i)
 		if float64(cum+c) >= rank {
 			lo := 0.0
 			if i > 0 {
@@ -131,12 +213,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 // callers that difference consecutive snapshots into a windowed
 // distribution (the adaptive batching policy).
 func (h *Histogram) CountsInto(dst []int64) []int64 {
-	if cap(dst) < len(h.counts) {
-		dst = make([]int64, len(h.counts))
+	nb := len(h.bounds) + 1
+	if cap(dst) < nb {
+		dst = make([]int64, nb)
 	}
-	dst = dst[:len(h.counts)]
-	for i := range h.counts {
-		dst[i] = h.counts[i].Load()
+	dst = dst[:nb]
+	for i := 0; i < nb; i++ {
+		dst[i] = h.bucketCount(i)
 	}
 	return dst
 }
@@ -161,7 +244,7 @@ func (h *Histogram) QuantileOf(counts []int64, q float64) float64 {
 	}
 	rank := q * float64(n)
 	var cum int64
-	for i := 0; i < len(counts) && i < len(h.counts); i++ {
+	for i := 0; i < len(counts) && i <= len(h.bounds); i++ {
 		c := counts[i]
 		if float64(cum+c) >= rank {
 			lo := 0.0
@@ -266,13 +349,13 @@ type HistogramBucket struct {
 // between bucket reads; totals are internally consistent enough for
 // monitoring, which is all a live histogram promises.
 func (h *Histogram) Snapshot() []HistogramBucket {
-	out := make([]HistogramBucket, len(h.counts))
-	for i := range h.counts {
+	out := make([]HistogramBucket, len(h.bounds)+1)
+	for i := range out {
 		ub := math.Inf(1)
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		out[i] = HistogramBucket{UpperBound: ub, Count: h.counts[i].Load()}
+		out[i] = HistogramBucket{UpperBound: ub, Count: h.bucketCount(i)}
 	}
 	return out
 }

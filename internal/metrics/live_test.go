@@ -131,3 +131,64 @@ func TestHistogramExpose(t *testing.T) {
 		t.Fatalf("counter exposition = %q", got)
 	}
 }
+
+// TestStripedCellsAggregate forces multi-stripe mode (single-CPU machines
+// collapse stripeMask to 0) and checks that reads aggregate across every
+// padded cell: counters, bucket counts, totals, sums, quantiles, and the
+// Prometheus rendering all see the union of stripes.
+func TestStripedCellsAggregate(t *testing.T) {
+	old := stripeMask
+	stripeMask = stripeCount - 1
+	defer func() { stripeMask = old }()
+
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(-2)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*998 {
+		t.Fatalf("striped counter = %d, want %d", got, 8*998)
+	}
+
+	// The histogram must be built after the mask flip so its stripe count
+	// matches the index space stripeIdx draws from.
+	h := NewHistogram([]float64{1, 10})
+	for i := 0; i < 300; i++ {
+		h.Observe(0.5) // bucket 0
+	}
+	for i := 0; i < 200; i++ {
+		h.Observe(5) // bucket 1
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(50) // +Inf bucket
+	}
+	if got := h.N(); got != 600 {
+		t.Fatalf("N = %d, want 600", got)
+	}
+	want := 300*0.5 + 200*5 + 100*50
+	if got := h.Sum(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	counts := h.CountsInto(nil)
+	if len(counts) != 3 || counts[0] != 300 || counts[1] != 200 || counts[2] != 100 {
+		t.Fatalf("CountsInto = %v, want [300 200 100]", counts)
+	}
+	if q := h.Quantile(0.25); q <= 0 || q > 1 {
+		t.Fatalf("Quantile(0.25) = %v, want in bucket 0", q)
+	}
+	snap := h.Snapshot()
+	if len(snap) != 3 || snap[2].Count != 100 || !math.IsInf(snap[2].UpperBound, 1) {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	if !strings.Contains(h.Expose("x"), "x_count 600") {
+		t.Fatalf("Expose missing aggregated count:\n%s", h.Expose("x"))
+	}
+}

@@ -31,6 +31,14 @@ type cacheShard struct {
 	order   []frameKey
 	next    int
 	pending map[frameKey]*request
+
+	// The shards live by value in one contiguous slice, so without padding
+	// two neighbours share a cache line: every mu lock/unlock and every
+	// bump of the FIFO cursor (next) on one shard would invalidate the
+	// neighbour's line on another core — false sharing the 8-core sweep
+	// surfaced. The pad keeps each header (64 bytes of fields above) on its
+	// own line group.
+	_ [64]byte
 }
 
 // shardedCache spreads verdict lookups over 2^k independently locked

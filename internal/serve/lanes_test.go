@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"percival/internal/core"
+	"percival/internal/synth"
+	"percival/internal/tensor"
+)
+
+// TestPinnedLanesServe runs the PinLanes configuration end to end: verdicts
+// must match the synchronous classifier, the GEMM pool must be partitioned
+// while the server lives and restored on Close, and the per-lane metrics
+// must account for every dispatch.
+func TestPinnedLanesServe(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	svc := testCore(t, core.Options{})
+	s, err := New(svc, Options{Shards: 4, PinLanes: true, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tensor.GemmParallelism(); got != 2 {
+		t.Fatalf("GemmParallelism = %d while 4 pinned lanes run at GOMAXPROCS=8, want 2", got)
+	}
+
+	frames := synth.SampleFrames(61, 24)
+	for i, f := range frames {
+		got := s.Submit(f)
+		want := svc.Classify(f)
+		if got.Score != want {
+			t.Fatalf("frame %d: pinned-lane score %v != synchronous %v", i, got.Score, want)
+		}
+	}
+
+	met := s.Metrics()
+	var dispatches, busy int64
+	for i := range met.LaneDispatches {
+		dispatches += met.LaneDispatches[i].Load()
+		busy += met.LaneBusyNS[i].Load()
+	}
+	if dispatches == 0 || dispatches != met.Batches.Load() {
+		t.Fatalf("lane dispatches %d, want >0 and equal to batches %d", dispatches, met.Batches.Load())
+	}
+	if busy <= 0 {
+		t.Fatalf("lane busy time %d ns, want > 0", busy)
+	}
+	exp := met.Expose()
+	for _, want := range []string{
+		"percival_serve_lane_dispatches_total{lane=\"0\"}",
+		"percival_serve_lane_busy_ns_total{lane=\"3\"}",
+		"percival_serve_lane_pinned{lane=\"0\"}",
+		"percival_serve_gemm_pool_workers",
+		"percival_serve_gemm_pool_max_fanout 2",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Fatalf("Expose() missing %q:\n%s", want, exp)
+		}
+	}
+
+	s.Close()
+	if got := tensor.GemmParallelism(); got != 0 {
+		t.Fatalf("GemmParallelism = %d after Close, want 0 (partition not restored)", got)
+	}
+}
+
+// TestPinnedLanesConcurrentStress is the multi-shard pinned-lane race
+// workload (`make race` runs this package under -race at GOMAXPROCS=8 via
+// the runtime override below): many submitters, duplicate creatives to
+// exercise coalescing, metrics readers racing the lanes, all four pinned
+// lanes dispatching concurrently into the partitioned GEMM pool.
+func TestPinnedLanesConcurrentStress(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	s := testServer(t, core.Options{}, Options{Shards: 4, PinLanes: true, MaxBatch: 4})
+	frames := synth.SampleFrames(67, 16)
+	iters := 30
+	if raceEnabled {
+		iters = 15
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// metrics readers race the lane writers
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = s.Metrics().Expose()
+					_ = s.Metrics().LatencyMS.Quantile(0.99)
+				}
+			}
+		}()
+	}
+	var subWG sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		subWG.Add(1)
+		go func(g int) {
+			defer subWG.Done()
+			for i := 0; i < iters; i++ {
+				f := frames[(g+i)%len(frames)]
+				if r := s.Submit(f); r.Status == StatusShed {
+					t.Errorf("unexpected shed under pinned lanes")
+					return
+				}
+			}
+		}(g)
+	}
+	subWG.Wait()
+	close(stop)
+	wg.Wait()
+	if got := s.Metrics().Submitted.Load(); got != int64(16*iters) {
+		t.Fatalf("submitted %d, want %d", got, 16*iters)
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package serve
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinThreadToCPU binds the calling OS thread (which must already be locked
+// with runtime.LockOSThread) to one CPU core, lane mod NumCPU, via raw
+// sched_setaffinity — the ndn-dpdk lcore model without cgo. Reports whether
+// the bind took; single-CPU machines skip it (there is nothing to win and
+// the empty "every thread on cpu0" mask would only confuse debugging).
+func pinThreadToCPU(lane int) bool {
+	ncpu := runtime.NumCPU()
+	if ncpu < 2 {
+		return false
+	}
+	cpu := lane % ncpu
+	// 1024-bit cpu_set_t, the kernel's default mask width.
+	var mask [16]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	// tid 0 = calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	return errno == 0
+}

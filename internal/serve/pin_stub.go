@@ -1,0 +1,7 @@
+//go:build !linux
+
+package serve
+
+// pinThreadToCPU is a no-op off Linux: the lane still gets LockOSThread
+// (scheduler affinity), just not a hard core binding.
+func pinThreadToCPU(lane int) bool { return false }

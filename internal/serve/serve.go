@@ -43,6 +43,7 @@ import (
 	"percival/internal/engine"
 	"percival/internal/imaging"
 	"percival/internal/metrics"
+	"percival/internal/tensor"
 )
 
 // Status reports how a submission was resolved.
@@ -123,6 +124,16 @@ type Options struct {
 	// partitioned by content-hash range, each shard owning its own queue,
 	// batcher, verdict-cache slice, and backend replica (default 1).
 	Shards int
+	// PinLanes dedicates one core-pinned dispatch lane to each shard,
+	// ndn-dpdk lcore style: exactly one worker per shard, locked to its OS
+	// thread and (on Linux, when the machine has more than one CPU) bound to
+	// core shard-id mod NumCPU with sched_setaffinity. The GEMM worker pool
+	// is partitioned to match — tensor.SetGemmParallelism(GOMAXPROCS/Shards)
+	// — so N lanes running forward passes never oversubscribe the cores the
+	// way N shards × M workers × a GOMAXPROCS-wide pool did. Options.Workers
+	// is ignored (each lane is its own worker); Close restores the
+	// unpartitioned pool.
+	PinLanes bool
 	// Backend overrides the inference engine (default: the classifier's
 	// active backend). Each shard replicates it, so the value passed here
 	// never serves traffic directly.
@@ -190,6 +201,15 @@ type Metrics struct {
 	// ShardFrames counts model-dispatched frames per shard (routing and
 	// balance observability).
 	ShardFrames []metrics.Counter
+	// LaneDispatches counts forward passes per dispatch lane (indexed by
+	// shard; with PinLanes each shard is exactly one lane).
+	LaneDispatches []metrics.Counter
+	// LaneBusyNS accumulates nanoseconds each lane spent inside the model —
+	// lane occupancy is LaneBusyNS rate over wall time.
+	LaneBusyNS []metrics.Counter
+	// LanePinned is 1 when the lane's OS thread was successfully bound to a
+	// CPU core, 0 otherwise (non-Linux, single-CPU, or PinLanes off).
+	LanePinned []metrics.Counter
 }
 
 // Expose renders every metric in Prometheus text exposition format.
@@ -207,6 +227,24 @@ func (m *Metrics) Expose() string {
 		s += fmt.Sprintf("percival_serve_shard_frames_total{shard=\"%d\"} %d\n",
 			i, m.ShardFrames[i].Load())
 	}
+	for i := range m.LaneDispatches {
+		s += fmt.Sprintf("percival_serve_lane_dispatches_total{lane=\"%d\"} %d\n",
+			i, m.LaneDispatches[i].Load())
+	}
+	for i := range m.LaneBusyNS {
+		s += fmt.Sprintf("percival_serve_lane_busy_ns_total{lane=\"%d\"} %d\n",
+			i, m.LaneBusyNS[i].Load())
+	}
+	for i := range m.LanePinned {
+		s += fmt.Sprintf("percival_serve_lane_pinned{lane=\"%d\"} %d\n",
+			i, m.LanePinned[i].Load())
+	}
+	// Shared GEMM pool occupancy: how the lanes' forward passes are drawing
+	// on the tensor worker pool right now.
+	ps := tensor.PoolStats()
+	s += fmt.Sprintf("percival_serve_gemm_pool_workers %d\n", ps.Workers)
+	s += fmt.Sprintf("percival_serve_gemm_pool_max_fanout %d\n", ps.MaxFanout)
+	s += fmt.Sprintf("percival_serve_gemm_pool_active_drivers %d\n", ps.ActiveDrivers)
 	return s
 }
 
@@ -248,6 +286,10 @@ type Server struct {
 	adm    *AdmissionController // non-nil when Policy is an AdmissionController
 	shards []*shard
 
+	// partitionedPool records that New partitioned the tensor worker pool
+	// for pinned lanes; Close restores the unpartitioned default.
+	partitionedPool bool
+
 	reqPool sync.Pool
 
 	// closeMu serializes submissions against Close: submitters hold the
@@ -265,6 +307,10 @@ func New(svc *core.Percival, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: nil classifier service")
 	}
 	opts = opts.withDefaults()
+	if opts.PinLanes {
+		// One dispatch lane per shard; the lane is the worker.
+		opts.Workers = opts.Shards
+	}
 	if opts.MaxBatch < 1 {
 		return nil, fmt.Errorf("serve: MaxBatch %d < 1", opts.MaxBatch)
 	}
@@ -294,6 +340,22 @@ func New(svc *core.Percival, opts Options) (*Server, error) {
 	s.met.LatencyMS = metrics.NewHistogram(nil)
 	s.met.ShedWaitMS = metrics.NewHistogram(nil)
 	s.met.ShardFrames = make([]metrics.Counter, opts.Shards)
+	s.met.LaneDispatches = make([]metrics.Counter, opts.Shards)
+	s.met.LaneBusyNS = make([]metrics.Counter, opts.Shards)
+	s.met.LanePinned = make([]metrics.Counter, opts.Shards)
+	if opts.PinLanes {
+		// Partition the shared GEMM pool across lanes: each forward pass may
+		// fan out to at most its core share, so L concurrent lanes never
+		// stack L × GOMAXPROCS helpers on the same cores. On a partition of
+		// 1 every lane runs its GEMMs serial on its own pinned core — the
+		// ndn-dpdk run-to-completion model.
+		per := runtime.GOMAXPROCS(0) / opts.Shards
+		if per < 1 {
+			per = 1
+		}
+		tensor.SetGemmParallelism(per)
+		s.partitionedPool = true
+	}
 	if a, ok := policy.(*AIMDPolicy); ok && a.Hist == nil {
 		a.Hist = s.met.LatencyMS
 	}
@@ -343,7 +405,7 @@ func New(svc *core.Percival, opts Options) (*Server, error) {
 		go sh.coalesce()
 		for w := 0; w < workers; w++ {
 			sh.loopsWG.Add(1)
-			go sh.worker()
+			go sh.worker(opts.PinLanes)
 		}
 	}
 	return s, nil
@@ -750,10 +812,22 @@ func (sh *shard) getBatchSlice() []*request {
 }
 
 // worker is one shard dispatch loop: it owns reusable frame/score slices
-// and runs each batch through the shard's warm backend replica.
-func (sh *shard) worker() {
+// and runs each batch through the shard's warm backend replica. With pin
+// set (PinLanes) the loop is the shard's dedicated lane: it locks to its OS
+// thread and binds that thread to a core, so the lane's forward passes stop
+// migrating and stop stealing each other's cache residency. The thread is
+// intentionally never unlocked — it is destroyed when the lane exits at
+// Close, which is cheaper than giving a core-bound thread back to the
+// scheduler pool.
+func (sh *shard) worker(pin bool) {
 	defer sh.loopsWG.Done()
 	s := sh.srv
+	if pin {
+		runtime.LockOSThread()
+		if pinThreadToCPU(sh.id) {
+			s.met.LanePinned[sh.id].Inc()
+		}
+	}
 	frames := make([]*imaging.Bitmap, 0, s.opts.MaxBatch)
 	live := make([]*request, 0, s.opts.MaxBatch)
 	scores := make([]float64, s.opts.MaxBatch)
@@ -780,7 +854,10 @@ func (sh *shard) worker() {
 			// the oldest request's pre-dispatch wait is the queue+linger
 			// delay the policy controls (model time is not its lever)
 			wait := now.Sub(live[0].enq)
+			start := time.Now()
 			out := sh.backend.InferBatchInto(frames, scores[:len(live)])
+			s.met.LaneBusyNS[sh.id].Add(time.Since(start).Nanoseconds())
+			s.met.LaneDispatches[sh.id].Inc()
 			s.met.Batches.Inc()
 			s.met.BatchFill.Observe(float64(len(live)))
 			s.met.Classified.Add(int64(len(live)))
@@ -869,5 +946,8 @@ func (s *Server) Close() {
 	for _, sh := range s.shards {
 		sh.loopsWG.Wait()
 		sh.backend.Close()
+	}
+	if s.partitionedPool {
+		tensor.SetGemmParallelism(0)
 	}
 }

@@ -1,18 +1,17 @@
 package tensor
 
-import "runtime"
-
 // Blocked-GEMM tuning knobs (see PERFORMANCE.md for the derivation):
 //
-//   - mrTile×nrTile is the register-blocked micro-kernel footprint. On amd64
-//     the 6×16 tile maps to 12 YMM accumulators driven by FMA; the generic
-//     kernel uses the same packed layout.
+//   - mrTile×nrTile is the base register-blocked micro-kernel footprint. On
+//     amd64 the 6×16 tile maps to 12 YMM accumulators driven by FMA; the
+//     generic kernel uses the same packed layout. CPUs with AVX-512F swap in
+//     the 8×32 tile (16 ZMM accumulators) via gemmTier below.
 //   - kcBlock keeps one A micro-panel (mr×kc) plus one B micro-panel (kc×nr)
 //     L1-resident while the kernel streams them.
-//   - mcBlock keeps the packed A block (mc×kc ≈ 132 KB) L2-resident; it must
-//     be a multiple of mrTile.
+//   - mcBlock keeps the packed A block (mc×kc ≈ 132 KB) L2-resident; each
+//     tier rounds it to a multiple of its own mr (gemmTierT.mc).
 //   - ncBlock bounds the packed B block (kc×nc ≤ 2 MB, LLC-resident); it must
-//     be a multiple of nrTile.
+//     be a multiple of every tier's nr (2048 = 128×16 = 64×32).
 //   - gemmParallelThreshold is the m*k*n volume above which the work fans out
 //     across the persistent worker pool (see workers.go).
 //   - gemmSmallThreshold is the volume below which packing costs more than it
@@ -24,9 +23,44 @@ const (
 	mcBlock = 132
 	ncBlock = 2048
 
+	// Edge-tile scratch bounds across every kernel tier (max mr × max nr).
+	maxMrTile = 8
+	maxNrTile = 32
+
 	gemmParallelThreshold = 1 << 16
 	gemmSmallThreshold    = 1 << 13
 )
+
+// gemmTierT describes the active FP32 micro-kernel: its register-tile
+// footprint, the A-block height rounded to that tile, and which kernel kind
+// runs the tile. The kind is an enum dispatched through the per-arch
+// gemmKernelTier shim — a direct call, not a func value, so escape analysis
+// keeps the panel's edge-tile scratch on the stack (a func field here cost
+// one heap allocation per panel and broke the serve path's zero-alloc
+// steady state). One product reads the tier once on entry, so a concurrent
+// tier swap (only tests do that) never mixes tile geometries mid-product.
+type gemmTierT struct {
+	name   string
+	kind   uint8
+	mr, nr int
+	mc     int
+}
+
+// Kernel kinds for gemmTierT.kind.
+const (
+	tierKind6x16 uint8 = iota // FMA-or-portable 6×16 (gemmKernel)
+	tierKind8x32              // AVX-512F 8×32 (sgemmKernel8x32)
+)
+
+// gemmTier is the FP32 kernel tier in use. The default is the 6×16 tile whose
+// gemmKernel dispatches FMA vs portable at runtime; init in gemm_amd64.go
+// upgrades it to the AVX-512F 8×32 tile when the CPU and OS qualify.
+var gemmTier = gemmTierT{name: "portable-6x16", kind: tierKind6x16, mr: mrTile, nr: nrTile, mc: mcBlock}
+
+// GemmKernelName identifies the dispatched FP32 micro-kernel tier
+// ("avx512-8x32", "avx2-6x16", or "portable-6x16") for bench snapshots and
+// /metrics.
+func GemmKernelName() string { return gemmTier.name }
 
 // Gemm computes C = A×B for row-major matrices. A is M×K, B is K×N and C is
 // M×N; C is overwritten. Large problems run cache-blocked over packed panels
@@ -150,32 +184,41 @@ func gemmBlocked(a, b, c []float32, m, k, n int, aT, bT bool) {
 	if bT {
 		ldb = k
 	}
-	serial := m*k*n < gemmParallelThreshold || runtime.GOMAXPROCS(0) < 2
+	tier := gemmTier
+	mr, nr := tier.mr, tier.nr
+	// Register as a driver so concurrent products split the pool instead of
+	// each fanning to GOMAXPROCS (see gemmWorkerBudget); a budget below 2
+	// goroutines means serial is the faster plan.
+	drivers := int(gemmDrivers.Add(1))
+	defer gemmDrivers.Add(-1)
+	budget := gemmWorkerBudget(drivers)
+	serial := m*k*n < gemmParallelThreshold || budget < 2
 	for jc := 0; jc < n; jc += ncBlock {
 		nc := min(ncBlock, n-jc)
-		ncPanels := (nc + nrTile - 1) / nrTile
+		ncPanels := (nc + nr - 1) / nr
 		for pc := 0; pc < k; pc += kcBlock {
 			kc := min(kcBlock, k-pc)
-			bbufp := GetScratch(ncPanels * nrTile * kc)
+			bbufp := GetScratch(ncPanels * nr * kc)
 			bbuf := *bbufp
-			packB(bbuf, b, ldb, bT, pc, kc, jc, nc)
-			for ic := 0; ic < m; ic += mcBlock {
-				mc := min(mcBlock, m-ic)
-				mcPanels := (mc + mrTile - 1) / mrTile
-				abufp := GetScratch(mcPanels * mrTile * kc)
+			packB(bbuf, b, ldb, bT, pc, kc, jc, nc, nr)
+			for ic := 0; ic < m; ic += tier.mc {
+				mc := min(tier.mc, m-ic)
+				mcPanels := (mc + mr - 1) / mr
+				abufp := GetScratch(mcPanels * mr * kc)
 				abuf := *abufp
-				packA(abuf, a, lda, aT, ic, mc, pc, kc)
+				packA(abuf, a, lda, aT, ic, mc, pc, kc, mr)
 				blk := gemmBlock{
 					abuf: abuf, bbuf: bbuf, c: c,
 					ic: ic, jc: jc, kc: kc, mc: mc, nc: nc,
 					mcPanels: mcPanels, n: n,
+					mr: mr, nr: nr, kind: tier.kind,
 				}
 				if serial {
 					for jp := 0; jp < ncPanels; jp++ {
 						blk.panel(jp)
 					}
 				} else {
-					blk.parallel(ncPanels)
+					blk.parallel(ncPanels, budget)
 				}
 				PutScratch(abufp)
 			}
@@ -185,41 +228,45 @@ func gemmBlocked(a, b, c []float32, m, k, n int, aT, bT bool) {
 }
 
 // gemmBlock carries one packed (mc×kc)×(kc×nc) block product; panel runs the
-// micro-kernel down one nrTile-wide column panel. It is a named struct (not a
+// micro-kernel down one nr-wide column panel. It is a named struct (not a
 // closure) so the serial path keeps it off the heap.
 type gemmBlock struct {
 	abuf, bbuf, c      []float32
 	ic, jc, kc, mc, nc int
 	mcPanels, n        int
+	mr, nr             int
+	kind               uint8
 }
 
-// parallel fans the block's column panels across the worker pool. The value
-// receiver confines the heap-escaping method value to this path, keeping the
-// serial caller's gemmBlock on the stack.
-func (g gemmBlock) parallel(ncPanels int) {
-	parallelFor(ncPanels, g.panel)
+// parallel fans the block's column panels across the worker pool, bounded by
+// the driver's goroutine budget. The value receiver confines the
+// heap-escaping method value to this path, keeping the serial caller's
+// gemmBlock on the stack.
+func (g gemmBlock) parallel(ncPanels, budget int) {
+	parallelForBudget(ncPanels, budget, g.panel)
 }
 
 func (g *gemmBlock) panel(jp int) {
-	var tile [mrTile * nrTile]float32
-	bpanel := g.bbuf[jp*nrTile*g.kc:]
-	j := g.jc + jp*nrTile
-	cols := min(nrTile, g.nc-jp*nrTile)
+	var tile [maxMrTile * maxNrTile]float32
+	mr, nr := g.mr, g.nr
+	bpanel := g.bbuf[jp*nr*g.kc:]
+	j := g.jc + jp*nr
+	cols := min(nr, g.nc-jp*nr)
 	for ip := 0; ip < g.mcPanels; ip++ {
-		apanel := g.abuf[ip*mrTile*g.kc:]
-		i := g.ic + ip*mrTile
-		rows := min(mrTile, g.mc-ip*mrTile)
-		if rows == mrTile && cols == nrTile {
-			gemmKernel(g.kc, apanel, bpanel, g.c[i*g.n+j:], g.n)
+		apanel := g.abuf[ip*mr*g.kc:]
+		i := g.ic + ip*mr
+		rows := min(mr, g.mc-ip*mr)
+		if rows == mr && cols == nr {
+			gemmKernelTier(g.kind, g.kc, apanel, bpanel, g.c[i*g.n+j:], g.n)
 			continue
 		}
 		// Edge tile: run the full-size kernel on a zeroed scratch tile, then
 		// fold the valid region into C.
-		clear(tile[:])
-		gemmKernel(g.kc, apanel, bpanel, tile[:], nrTile)
+		clear(tile[:mr*nr])
+		gemmKernelTier(g.kind, g.kc, apanel, bpanel, tile[:], nr)
 		for r := 0; r < rows; r++ {
 			crow := g.c[(i+r)*g.n+j:]
-			trow := tile[r*nrTile:]
+			trow := tile[r*nr:]
 			for t := 0; t < cols; t++ {
 				crow[t] += trow[t]
 			}
@@ -228,13 +275,14 @@ func (g *gemmBlock) panel(jp int) {
 }
 
 // packA copies the mc×kc block of op(A) at (i0, p0) into micro-panel layout:
-// consecutive groups of mrTile values hold one column of an mrTile-row panel,
-// zero-padded past the last valid row so the kernel never branches.
-func packA(dst, a []float32, lda int, trans bool, i0, mc, p0, kc int) {
+// consecutive groups of mr values hold one column of an mr-row panel,
+// zero-padded past the last valid row so the kernel never branches. Full
+// panels of the two amd64 tile heights (6 and 8) take unrolled fast paths.
+func packA(dst, a []float32, lda int, trans bool, i0, mc, p0, kc, mr int) {
 	di := 0
-	for ir := 0; ir < mc; ir += mrTile {
-		rows := min(mrTile, mc-ir)
-		if !trans && rows == mrTile {
+	for ir := 0; ir < mc; ir += mr {
+		rows := min(mr, mc-ir)
+		if !trans && rows == mr && (mr == 6 || mr == 8) {
 			base := (i0 + ir) * lda
 			r0 := a[base+p0 : base+p0+kc]
 			r1 := a[base+lda+p0:]
@@ -242,6 +290,22 @@ func packA(dst, a []float32, lda int, trans bool, i0, mc, p0, kc int) {
 			r3 := a[base+3*lda+p0:]
 			r4 := a[base+4*lda+p0:]
 			r5 := a[base+5*lda+p0:]
+			if mr == 8 {
+				r6 := a[base+6*lda+p0:]
+				r7 := a[base+7*lda+p0:]
+				for p := 0; p < kc; p++ {
+					dst[di] = r0[p]
+					dst[di+1] = r1[p]
+					dst[di+2] = r2[p]
+					dst[di+3] = r3[p]
+					dst[di+4] = r4[p]
+					dst[di+5] = r5[p]
+					dst[di+6] = r6[p]
+					dst[di+7] = r7[p]
+					di += 8
+				}
+				continue
+			}
 			for p := 0; p < kc; p++ {
 				dst[di] = r0[p]
 				dst[di+1] = r1[p]
@@ -249,12 +313,12 @@ func packA(dst, a []float32, lda int, trans bool, i0, mc, p0, kc int) {
 				dst[di+3] = r3[p]
 				dst[di+4] = r4[p]
 				dst[di+5] = r5[p]
-				di += mrTile
+				di += 6
 			}
 			continue
 		}
 		for p := 0; p < kc; p++ {
-			for r := 0; r < mrTile; r++ {
+			for r := 0; r < mr; r++ {
 				var v float32
 				if r < rows {
 					if trans {
@@ -271,22 +335,22 @@ func packA(dst, a []float32, lda int, trans bool, i0, mc, p0, kc int) {
 }
 
 // packB copies the kc×nc block of op(B) at (p0, j0) into micro-panel layout:
-// consecutive groups of nrTile values hold one row of an nrTile-column panel,
+// consecutive groups of nr values hold one row of an nr-column panel,
 // zero-padded past the last valid column.
-func packB(dst, b []float32, ldb int, trans bool, p0, kc, j0, nc int) {
+func packB(dst, b []float32, ldb int, trans bool, p0, kc, j0, nc, nr int) {
 	di := 0
-	for jr := 0; jr < nc; jr += nrTile {
-		cols := min(nrTile, nc-jr)
-		if !trans && cols == nrTile {
+	for jr := 0; jr < nc; jr += nr {
+		cols := min(nr, nc-jr)
+		if !trans && cols == nr {
 			for p := 0; p < kc; p++ {
 				src := (p0+p)*ldb + j0 + jr
-				copy(dst[di:di+nrTile], b[src:src+nrTile])
-				di += nrTile
+				copy(dst[di:di+nr], b[src:src+nr])
+				di += nr
 			}
 			continue
 		}
 		for p := 0; p < kc; p++ {
-			for cidx := 0; cidx < nrTile; cidx++ {
+			for cidx := 0; cidx < nr; cidx++ {
 				var v float32
 				if cidx < cols {
 					if trans {
@@ -302,22 +366,33 @@ func packB(dst, b []float32, ldb int, trans bool, p0, kc, j0, nc int) {
 	}
 }
 
-// gemmKernelGeneric is the portable micro-kernel over the packed panels: the
-// 6×16 tile of C at stride ldc accumulates kc outer products. It is used on
-// non-amd64 builds and as the runtime fallback when AVX2/FMA is unavailable.
-func gemmKernelGeneric(kc int, a, b, ctile []float32, ldc int) {
+// gemmKernelGenericTile is the portable micro-kernel over the packed panels:
+// the mr×nr tile of C at stride ldc accumulates kc outer products.
+func gemmKernelGenericTile(kc int, a, b, ctile []float32, ldc, mr, nr int) {
 	for p := 0; p < kc; p++ {
-		ap := a[p*mrTile : p*mrTile+mrTile]
-		bp := b[p*nrTile : p*nrTile+nrTile]
-		for r := 0; r < mrTile; r++ {
+		ap := a[p*mr : p*mr+mr]
+		bp := b[p*nr : p*nr+nr]
+		for r := 0; r < mr; r++ {
 			av := ap[r]
 			if av == 0 {
 				continue
 			}
-			crow := ctile[r*ldc : r*ldc+nrTile]
+			crow := ctile[r*ldc : r*ldc+nr]
 			for j, bv := range bp {
 				crow[j] += av * bv
 			}
 		}
 	}
+}
+
+// gemmKernelGeneric is the 6×16 instantiation, used on non-amd64 builds and
+// as the runtime fallback when AVX2/FMA is unavailable.
+func gemmKernelGeneric(kc int, a, b, ctile []float32, ldc int) {
+	gemmKernelGenericTile(kc, a, b, ctile, ldc, mrTile, nrTile)
+}
+
+// gemmKernelGeneric8x32 is the 8×32 instantiation — the portable reference
+// the AVX-512F kernel is bit-compared against in tests.
+func gemmKernelGeneric8x32(kc int, a, b, ctile []float32, ldc int) {
+	gemmKernelGenericTile(kc, a, b, ctile, ldc, 8, 32)
 }

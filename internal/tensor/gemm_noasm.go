@@ -7,3 +7,13 @@ package tensor
 func gemmKernel(kc int, a, b, ctile []float32, ldc int) {
 	gemmKernelGeneric(kc, a, b, ctile, ldc)
 }
+
+// gemmKernelTier dispatches by tier kind; without assembly both kinds run
+// the portable kernel at the tier's geometry.
+func gemmKernelTier(kind uint8, kc int, a, b, ctile []float32, ldc int) {
+	if kind == tierKind8x32 {
+		gemmKernelGeneric8x32(kc, a, b, ctile, ldc)
+		return
+	}
+	gemmKernelGeneric(kc, a, b, ctile, ldc)
+}

@@ -1,7 +1,5 @@
 package tensor
 
-import "runtime"
-
 // Quantized-GEMM tuning knobs. The driver mirrors the FP32 blocked GEMM
 // (gemm.go) — same three-level blocking, same worker pool — but the packed
 // layout groups the K dimension into quads of 4 bytes, matching the AVX2
@@ -73,7 +71,12 @@ func qgemmSmall(a []int8, b []uint8, c []int32, m, k, n int) {
 // each block fan across the shared worker pool exactly like the FP32 path;
 // panels write disjoint C regions.
 func qgemmBlocked(a []int8, b []uint8, c []int32, m, k, n int) {
-	serial := m*k*n < qgemmParallelThreshold || runtime.GOMAXPROCS(0) < 2
+	// Same driver accounting as gemmBlocked: concurrent products split the
+	// pool budget, and a share below 2 goroutines runs serial.
+	drivers := int(gemmDrivers.Add(1))
+	defer gemmDrivers.Add(-1)
+	budget := gemmWorkerBudget(drivers)
+	serial := m*k*n < qgemmParallelThreshold || budget < 2
 	for jc := 0; jc < n; jc += ncQBlock {
 		nc := min(ncQBlock, n-jc)
 		ncPanels := (nc + nrQTile - 1) / nrQTile
@@ -99,7 +102,7 @@ func qgemmBlocked(a []int8, b []uint8, c []int32, m, k, n int) {
 						blk.panel(jp)
 					}
 				} else {
-					blk.parallel(ncPanels)
+					blk.parallel(ncPanels, budget)
 				}
 				PutScratchI8(abufp)
 			}
@@ -119,8 +122,8 @@ type qgemmBlock struct {
 	mcPanels, n   int
 }
 
-func (g qgemmBlock) parallel(ncPanels int) {
-	parallelFor(ncPanels, g.panel)
+func (g qgemmBlock) parallel(ncPanels, budget int) {
+	parallelForBudget(ncPanels, budget, g.panel)
 }
 
 func (g *qgemmBlock) panel(jp int) {
