@@ -31,13 +31,14 @@ race:
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... ./internal/core/... ./internal/serve/... ./internal/faultinject/... ./internal/metrics/...
 
 # Native Go fuzzing smoke pass over the decoders that face untrusted input
-# (EasyList rules, HTML, the persistent-socket wire framing). Each fuzzer
-# runs for FUZZTIME; crashers are written to the package's testdata/fuzz
-# corpus and reproduced by `go test`.
+# (EasyList rules, HTML, the persistent-socket wire framing, the admin
+# control-plane request bodies). Each fuzzer runs for FUZZTIME; crashers are
+# written to the package's testdata/fuzz corpus and reproduced by `go test`.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/easylist
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dom
 	$(GO) test -run=NONE -fuzz=FuzzWireMsg -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run=NONE -fuzz=FuzzAdminRequest -fuzztime=$(FUZZTIME) ./internal/engine
 
 # Fault-injection smoke: drives the fleet supervisor (eviction, redial,
 # hedging, local fallback) and the daemon's serving edge through flapping /
@@ -61,8 +62,11 @@ chaos:
 # that catches harness breakage without paying for a full trajectory run.
 # ServeOverload8x2 rides in the BenchmarkServe match and is itself a gate:
 # it fails the run unless the brownout ladder engages, releases, and holds
-# goodput under 2x offered load. Not covered at runtime: the eval parity
-# experiment (compile-only via the tool build).
+# goodput under 2x offered load. ServeReroute8x2 rides the same match and
+# gates the control plane: weighted routing must beat the static baseline
+# with live membership churn and an agreement-driven canary mid-run. Not
+# covered at runtime: the eval parity experiment (compile-only via the
+# tool build).
 bench:
 ifdef BENCH_SMOKE
 	$(GO) test -run=NONE -bench='BenchmarkInfer|BenchmarkServe|BenchmarkSync|BenchmarkTrainingEpoch' -benchtime=1x .

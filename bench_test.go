@@ -184,6 +184,16 @@ func BenchmarkServeChaos8x2(b *testing.B) { benchsuite.ServeChaos8x2(b) }
 // goodput under overload.
 func BenchmarkServeOverload8x2(b *testing.B) { benchsuite.ServeOverload8x2(b) }
 
+// BenchmarkServeReroute8x2 is the control-plane row: a 3-peer fleet with
+// one always-slow peer, routed by congestion-window headroom per unit
+// latency EWMA behind the canary dispatch proxy. It asserts the
+// fleet-control contract — weighted goodput >= the static lane-pinned
+// baseline, live drain+remove/add mid-run with zero fail-open and
+// bit-identical verdicts, canary rollback of a disagreeing model and
+// promotion of an agreeing one driven only by the live agreement floor —
+// while measuring weighted-routing throughput.
+func BenchmarkServeReroute8x2(b *testing.B) { benchsuite.ServeReroute8x2(b) }
+
 // BenchmarkServeSteady8x2 is the sharded steady-state benchmark and the
 // 0 allocs/op gate for the sharded dispatch hot path.
 func BenchmarkServeSteady8x2(b *testing.B) { benchsuite.ServeSteady8x2(b) }

@@ -65,6 +65,10 @@ type BenchResult struct {
 	// cold-window wire bytes (pixels) over warm-window wire bytes (probe
 	// hits) on the rotation workload (acceptance bound: >= 10).
 	WireBytesRatio float64 `json:"wire_bytes_ratio,omitempty"`
+	// RouteRatio carries the control-plane row's routing contract: weighted
+	// (window-headroom per unit latency) goodput over the static lane-pinned
+	// baseline with one slow peer (acceptance bound: >= 1).
+	RouteRatio float64 `json:"route_ratio,omitempty"`
 }
 
 // ShardPoint is one point of the per-shard-count throughput trajectory on
@@ -116,6 +120,14 @@ type ServeResult struct {
 	OverloadFP32FPS      float64 `json:"overload_fp32_frames_per_sec"`
 	OverloadGoodputRatio float64 `json:"overload_goodput_ratio"`
 	OverloadMaxStage     float64 `json:"overload_max_stage"`
+	// The control-plane row: a 3-peer fleet with one always-slow peer on
+	// the rotation workload, routed by window-headroom-per-latency weights
+	// behind the canary dispatch proxy, with a live drain+remove/add and an
+	// agreement-gated canary rollback+promotion exercised mid-run.
+	// RerouteRouteRatio is weighted goodput over the same-run static
+	// lane-pinned baseline (acceptance bound: >= 1).
+	RerouteFP32FPS    float64 `json:"reroute_fp32_frames_per_sec"`
+	RerouteRouteRatio float64 `json:"reroute_route_ratio"`
 	// steady state (non-repeating frames, cache off): pure batching
 	SteadyFP32FPS     float64 `json:"steady_fp32_frames_per_sec"`
 	SteadyAllocsPerOp int64   `json:"steady_allocs_per_op"`
@@ -217,6 +229,7 @@ func main() {
 			GoodputRatio:   r.Extra["goodput-ratio"],
 			MaxStage:       r.Extra["max-stage"],
 			WireBytesRatio: r.Extra["bytes-cold/warm"],
+			RouteRatio:     r.Extra["weighted/static"],
 		}
 		if res.FramesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "%10.3f ms/op  %6d allocs/op  %8.1f frames/sec\n",
@@ -254,6 +267,8 @@ func main() {
 		OverloadFP32FPS:          byName["ServeOverload8x2"].FramesPerSec,
 		OverloadGoodputRatio:     byName["ServeOverload8x2"].GoodputRatio,
 		OverloadMaxStage:         byName["ServeOverload8x2"].MaxStage,
+		RerouteFP32FPS:           byName["ServeReroute8x2"].FramesPerSec,
+		RerouteRouteRatio:        byName["ServeReroute8x2"].RouteRatio,
 	}
 	if snap.Serve.SyncFP32FPS > 0 {
 		snap.Serve.SpeedupFP32 = snap.Serve.ServeFP32FPS / snap.Serve.SyncFP32FPS
@@ -425,6 +440,7 @@ func headlineBenchmarks() []namedBench {
 		{"ServeRemoteWire8x2", benchsuite.ServeRemoteWire8x2},
 		{"ServeChaos8x2", benchsuite.ServeChaos8x2},
 		{"ServeOverload8x2", benchsuite.ServeOverload8x2},
+		{"ServeReroute8x2", benchsuite.ServeReroute8x2},
 		{"SyncClassify8", benchsuite.SyncClassify8},
 		{"SyncClassify8Int8", benchsuite.SyncClassify8Int8},
 		{"Gemm96x196x12544", benchsuite.GemmStem},

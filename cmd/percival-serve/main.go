@@ -47,6 +47,17 @@
 //	                                      # from the verdict cache
 //	percival-serve -peers h1:8093 -peer-transport http  # pin fronts to the
 //	                                      # v1 HTTP wire even if peers offer v2
+//	percival-serve -peers ... -route weighted  # per-chunk least-loaded routing:
+//	                                      # every chunk goes to the peer with
+//	                                      # the best congestion-window headroom
+//	                                      # per unit latency EWMA, instead of
+//	                                      # the static shard->peer pinning
+//	percival-serve -admin-token s3cret    # authenticated control plane:
+//	                                      # POST /admin/peers (live add),
+//	                                      # DELETE /admin/peers/{id} (drain +
+//	                                      # remove), GET /admin/topology,
+//	                                      # POST/DELETE /admin/canary
+//	                                      # (agreement-gated model rollout)
 //	percival-serve -cache-file v.pcvc     # verdict cache survives restarts
 //	percival-serve -model m.pcvl -res 32  # serve saved weights
 //	percival-serve -pretrained            # deterministic untrained weights (smoke)
@@ -62,6 +73,7 @@ import (
 	"mime"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -113,6 +125,9 @@ func main() {
 		wireListen  = flag.String("wire-listen", "", "also listen for the persistent-socket wire (v2) on this address and advertise it via /modelz (empty = HTTP wire only)")
 		peerTrans   = flag.String("peer-transport", "auto", "wire to each -peers replica: auto (best the peer offers), http (v1 POST per chunk), socket (require the v2 persistent socket)")
 		peerNoDedup = flag.Bool("peer-no-dedup", false, "disable the socket wire's hash-first dedup probes (measurement; scores are identical either way)")
+		route       = flag.String("route", "static", "fleet dispatch policy: static (one peer pinned per shard lane) or weighted (per-chunk least-loaded by congestion-window headroom per unit latency EWMA)")
+		adminToken  = flag.String("admin-token", "", "enable the authenticated /admin control plane — live peer add/drain/remove and the model canary — with this bearer token (empty = disabled)")
+		drainWait   = flag.Duration("drain-timeout", 5*time.Second, "in-flight quiesce budget when DELETE /admin/peers/{id} drains a peer before removing it")
 	)
 	flag.Parse()
 
@@ -140,9 +155,17 @@ func main() {
 	// fronts pointed at each other cannot proxy a batch in a cycle.
 	reg := svc.Backends()
 	local := backend
+	// the per-process identity /modelz advertises, so a dialing front (this
+	// daemon's own dialPeers and admin API included) can tell "that peer is
+	// me" apart from "that peer serves the same model"
+	instanceID := newInstanceID()
+	router, err := engine.NewRouter(*route)
+	if err != nil {
+		log.Fatal("percival-serve: ", err)
+	}
 	var fleet *engine.Fleet
 	if *peers != "" {
-		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries, *windowMax, *peerTrans, *peerNoDedup)
+		remotes, err := dialPeers(reg, *peers, svc.InputRes(), *peerTimeout, *peerRetries, *windowMax, *peerTrans, *peerNoDedup, instanceID)
 		if err != nil {
 			log.Fatal("percival-serve: ", err)
 		}
@@ -152,6 +175,7 @@ func main() {
 			HedgeQuantile: *hedgeQ,
 			HedgeMax:      *hedgeMax,
 			Fallback:      local,
+			Router:        router,
 		})
 		if err != nil {
 			log.Fatal("percival-serve: ", err)
@@ -164,6 +188,12 @@ func main() {
 		}
 	}
 
+	// The canary proxy rides every dispatch lane between serve and the
+	// serving path (local engine or fleet): passthrough — one atomic load
+	// per batch — until POST /admin/canary starts a rollout, at which point
+	// it splits the configured traffic fraction onto the candidate and
+	// shadow-scores it against the incumbent.
+	serving := engine.NewCanaryBackend(reg, backend)
 	opts := serve.Options{
 		MaxBatch:   *maxBatch,
 		Linger:     *linger,
@@ -173,7 +203,7 @@ func main() {
 		CacheSize:  *cacheSize,
 		Shards:     *shards,
 		PinLanes:   *lanes,
-		Backend:    backend,
+		Backend:    serving,
 	}
 	switch {
 	case *admission:
@@ -235,9 +265,30 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", classifyHandler(srv, reg, backend))
 	mux.Handle("POST /classify/batch", engine.BatchHandler(reg, local))
-	mux.Handle("GET /modelz", engine.ModelzHandlerWire(reg, local, svc.Threshold(), wireAddr))
+	mux.Handle("GET /modelz", engine.ModelzHandlerID(reg, local, svc.Threshold(), wireAddr, instanceID))
 	mux.HandleFunc("GET /healthz", healthHandler(srv, reg, backend.Name(), wire))
 	mux.HandleFunc("GET /metrics", metricsHandler(srv, reg, fleet, wire))
+	if *adminToken != "" {
+		admin := &adminAPI{
+			token:     *adminToken,
+			reg:       reg,
+			fleet:     fleet,
+			srv:       srv,
+			localID:   instanceID,
+			threshold: svc.Threshold(),
+			drainWait: *drainWait,
+			dialTmpl: engine.RemoteOptions{
+				Timeout:   *peerTimeout,
+				Retries:   *peerRetries,
+				ExpectRes: svc.InputRes(),
+				WindowMax: *windowMax,
+				Transport: *peerTrans,
+				NoDedup:   *peerNoDedup,
+			},
+		}
+		admin.mount(mux)
+		log.Printf("admin control plane enabled: /admin/peers, /admin/topology, /admin/canary (router=%s)", router.Name())
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})
@@ -306,13 +357,31 @@ func pickBackend(svc *core.Percival, name string) (engine.Backend, error) {
 // dialPeers performs the /modelz handshake with every -peers address,
 // validating each peer's input resolution against the local model, and
 // registers the resulting remote backends (selectable via ?model=).
-func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int, windowMax int, transport string, noDedup bool) ([]*engine.RemoteBackend, error) {
+// Addresses are deduplicated at parse time — "h1:8093,h1:8093" (or the
+// same host spelled with and without a scheme) used to silently pin the
+// peer to two shard lanes, doubling its share of dispatch — and a peer
+// whose handshake identity matches this daemon is rejected outright: a
+// front proxying batches to itself is a dispatch cycle, never a fleet.
+func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration, retries int, windowMax int, transport string, noDedup bool, localID string) ([]*engine.RemoteBackend, error) {
 	var remotes []*engine.RemoteBackend
+	seen := make(map[string]bool)
 	for _, addr := range strings.Split(list, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
+		key := addr
+		if !strings.Contains(key, "://") {
+			key = "http://" + key
+		}
+		if u, err := url.Parse(key); err == nil && u.Host != "" {
+			key = u.Scheme + "://" + u.Host
+		}
+		if seen[key] {
+			log.Printf("-peers repeats %s; dialing it once", addr)
+			continue
+		}
+		seen[key] = true
 		rb, err := engine.NewRemote(addr, engine.RemoteOptions{
 			Timeout:   timeout,
 			Retries:   retries,
@@ -323,6 +392,10 @@ func dialPeers(reg *engine.Registry, list string, res int, timeout time.Duration
 		})
 		if err != nil {
 			return nil, err
+		}
+		if localID != "" && rb.InstanceID() == localID {
+			rb.Close()
+			return nil, fmt.Errorf("peer %s is this daemon (self-dial)", rb.Peer())
 		}
 		if err := reg.Register(rb.Name(), rb); err != nil {
 			return nil, err

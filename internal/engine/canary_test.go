@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"percival/internal/imaging"
+	"percival/internal/synth"
+)
+
+// scriptedBackend scores every frame with a settable fixed value — the
+// knob canary tests steer verdict agreement with. Concurrency-safe (the
+// score is atomic), so Replicate can hand out the shared instance.
+type scriptedBackend struct {
+	name   string
+	res    int
+	score  atomic.Uint64 // math.Float64bits
+	frames atomic.Int64
+}
+
+func newScripted(name string, res int, score float64) *scriptedBackend {
+	b := &scriptedBackend{name: name, res: res}
+	b.score.Store(math.Float64bits(score))
+	return b
+}
+
+func (b *scriptedBackend) setScore(s float64) { b.score.Store(math.Float64bits(s)) }
+
+func (b *scriptedBackend) Name() string       { return b.name }
+func (b *scriptedBackend) InputRes() int      { return b.res }
+func (b *scriptedBackend) Stats() Stats       { return Stats{Frames: b.frames.Load()} }
+func (b *scriptedBackend) Warm(int)           {}
+func (b *scriptedBackend) Close()             {}
+func (b *scriptedBackend) Replicate() Backend { return b }
+
+func (b *scriptedBackend) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	s := math.Float64frombits(b.score.Load())
+	for i := range frames {
+		out[i] = s
+	}
+	b.frames.Add(int64(len(frames)))
+	return out[:len(frames)]
+}
+
+// canaryRig wires a registry with a scripted incumbent + candidate and the
+// dispatch proxy over the incumbent.
+func canaryRig(t *testing.T, incScore, candScore float64) (*Registry, *scriptedBackend, *scriptedBackend, *CanaryBackend) {
+	t.Helper()
+	reg := NewRegistry()
+	inc := newScripted("incumbent", 16, incScore)
+	cand := newScripted("candidate", 16, candScore)
+	if err := reg.Register("incumbent", inc); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("candidate", cand); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetDefault("incumbent"); err != nil {
+		t.Fatal(err)
+	}
+	cb := NewCanaryBackend(reg, inc)
+	t.Cleanup(cb.Close)
+	return reg, inc, cand, cb
+}
+
+// TestCanaryPromotesOnSustainedAgreement: with the candidate agreeing on
+// every shadowed frame, a full hold window at the floor must promote it to
+// registry default — no wall clock, no manual gate — and the dispatch
+// proxy must route everything to it afterwards.
+func TestCanaryPromotesOnSustainedAgreement(t *testing.T) {
+	reg, inc, cand, cb := canaryRig(t, 0.9, 0.8) // same side of 0.5: agree
+	err := reg.BeginCanary("candidate", CanaryOptions{
+		Fraction: 1.0, Floor: 0.99, HoldWindow: 32, MinSamples: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := reg.CanaryStatus(); !st.Active || st.State != "running" {
+		t.Fatalf("rollout did not start: %+v", st)
+	}
+
+	frames := synth.SampleFrames(3, 8)
+	out := make([]float64, len(frames))
+	for i := 0; i < 4; i++ { // 32 shadowed frames = one full window
+		cb.InferBatchInto(frames, out)
+		if out[0] != 0.8 {
+			t.Fatalf("shifted chunk %d answered by %v, want candidate 0.8", i, out[0])
+		}
+	}
+	st := reg.CanaryStatus()
+	if st.State != "promoted" || st.Samples != 32 || st.Agreement != 1.0 {
+		t.Fatalf("not promoted after a full agreeing window: %+v", st)
+	}
+	if reg.DefaultName() != "candidate" {
+		t.Fatalf("registry default %q after promotion", reg.DefaultName())
+	}
+
+	// post-promotion dispatch rides the candidate, incumbent sees nothing
+	incBefore, candBefore := inc.frames.Load(), cand.frames.Load()
+	cb.InferBatchInto(frames, out)
+	if out[0] != 0.8 || cand.frames.Load() == candBefore || inc.frames.Load() != incBefore {
+		t.Fatalf("promoted traffic not on candidate: out=%v inc=%d->%d cand=%d->%d",
+			out[0], incBefore, inc.frames.Load(), candBefore, cand.frames.Load())
+	}
+}
+
+// TestCanaryRollsBackOnDip: agreement dipping below the floor after
+// MinSamples must snap the rollout back — default unchanged, candidate out
+// of the dispatch path on the next chunk.
+func TestCanaryRollsBackOnDip(t *testing.T) {
+	reg, inc, cand, cb := canaryRig(t, 0.9, 0.9)
+	err := reg.BeginCanary("candidate", CanaryOptions{
+		Fraction: 1.0, Floor: 0.99, HoldWindow: 32, MinSamples: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := synth.SampleFrames(4, 8)
+	out := make([]float64, len(frames))
+	cb.InferBatchInto(frames, out) // 8 agreeing samples: at MinSamples, no dip yet
+
+	cand.setScore(0.1) // crosses the 0.5 threshold: every frame now disagrees
+	cb.InferBatchInto(frames, out)
+	st := reg.CanaryStatus()
+	if st.State != "rolled_back" {
+		t.Fatalf("disagreeing candidate not rolled back: %+v", st)
+	}
+	if reg.DefaultName() != "incumbent" {
+		t.Fatalf("rollback flipped the default to %q", reg.DefaultName())
+	}
+
+	// traffic is back on the incumbent
+	candBefore := cand.frames.Load()
+	for i := 0; i < 3; i++ {
+		cb.InferBatchInto(frames, out)
+		if out[0] != 0.9 {
+			t.Fatalf("post-rollback chunk answered %v, want incumbent 0.9", out[0])
+		}
+	}
+	if cand.frames.Load() != candBefore {
+		t.Fatal("candidate still receiving traffic after rollback")
+	}
+	_ = inc
+}
+
+// TestCanaryFractionRotor: the deterministic counter split shifts exactly
+// every period-th chunk, so Fraction 0.5 shadows half the chunks.
+func TestCanaryFractionRotor(t *testing.T) {
+	reg, _, _, cb := canaryRig(t, 0.9, 0.8)
+	err := reg.BeginCanary("candidate", CanaryOptions{
+		Fraction: 0.5, Floor: 0.99, HoldWindow: 1024, MinSamples: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := synth.SampleFrames(5, 4)
+	out := make([]float64, len(frames))
+	for i := 0; i < 8; i++ {
+		cb.InferBatchInto(frames, out)
+	}
+	if st := reg.CanaryStatus(); st.Samples != 16 {
+		t.Fatalf("fraction 0.5 over 8x4 frames shadowed %d, want 16", st.Samples)
+	}
+}
+
+// TestCanaryGuards: the rollout refuses nonsense — unknown candidates, the
+// current default, resolution mismatches, double-starts — and CancelCanary
+// reports whether it actually stopped a running rollout.
+func TestCanaryGuards(t *testing.T) {
+	reg, _, _, _ := canaryRig(t, 0.9, 0.9)
+	if err := reg.BeginCanary("ghost", CanaryOptions{}); err == nil {
+		t.Fatal("unknown candidate accepted")
+	}
+	if err := reg.BeginCanary("incumbent", CanaryOptions{}); err == nil {
+		t.Fatal("default accepted as its own candidate")
+	}
+	if err := reg.Register("small", newScripted("small", 8, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.BeginCanary("small", CanaryOptions{}); err == nil {
+		t.Fatal("resolution mismatch accepted")
+	}
+	if reg.CancelCanary() {
+		t.Fatal("canceled a rollout that never started")
+	}
+	if err := reg.BeginCanary("candidate", CanaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.BeginCanary("candidate", CanaryOptions{}); err == nil {
+		t.Fatal("second rollout started over a running one")
+	}
+	if !reg.CancelCanary() {
+		t.Fatal("cancel did not stop the running rollout")
+	}
+	if st := reg.CanaryStatus(); st.State != "rolled_back" || st.Active {
+		t.Fatalf("cancel state: %+v", st)
+	}
+	// a finished rollout does not block the next one
+	if err := reg.BeginCanary("candidate", CanaryOptions{}); err != nil {
+		t.Fatalf("rollout after a finished one refused: %v", err)
+	}
+}
+
+// TestCanaryConcurrentSelectDuringShift hammers the shadow-scoring path
+// from parallel dispatch lanes while other goroutines read and mutate the
+// registry — the satellite's -race contract over Select/SetDefault during
+// a live traffic shift. Incumbent and candidate agree, so the rollout must
+// land on promoted with every verdict intact.
+func TestCanaryConcurrentSelectDuringShift(t *testing.T) {
+	reg, _, _, cb := canaryRig(t, 0.9, 0.9)
+	err := reg.BeginCanary("candidate", CanaryOptions{
+		Fraction: 1.0, Floor: 0.99, HoldWindow: 64, MinSamples: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := synth.SampleFrames(6, 4)
+	var wg sync.WaitGroup
+	for lane := 0; lane < 4; lane++ {
+		wg.Add(1)
+		go func(b Backend) {
+			defer wg.Done()
+			out := make([]float64, len(frames))
+			for i := 0; i < 32; i++ {
+				b.InferBatchInto(frames, out)
+				if out[0] != 0.9 {
+					t.Errorf("verdict %v mid-shift, want 0.9", out[0])
+					return
+				}
+			}
+		}(cb.Replicate())
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				reg.Select("incumbent").Name()
+				reg.Select("candidate").InputRes()
+				reg.CanaryStatus()
+				reg.DefaultName()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			// operator flapping the default mid-shift must stay safe
+			reg.SetDefault("incumbent")
+		}
+	}()
+	wg.Wait()
+	if st := reg.CanaryStatus(); st.State != "promoted" {
+		t.Fatalf("agreeing rollout under concurrency ended %+v", st)
+	}
+}

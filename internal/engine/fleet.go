@@ -4,13 +4,13 @@ package engine
 // peers. RemotePool (remote.go) routes blindly: a dead peer sheds its
 // shard's traffic (score 0) until a human restarts something, retries are
 // the peer's own problem, and a merely slow peer poisons its shard's tail
-// unchecked. Fleet closes those gaps with three mechanisms:
+// unchecked. Fleet closes those gaps with four mechanisms:
 //
 //   - Health-gated eviction: every chunk outcome feeds a per-peer
 //     supervisor. EvictAfter consecutive chunk failures trip the peer from
 //     healthy to evicted — it stops receiving traffic instantly, and the
 //     chunk that tripped it (plus everything after) re-routes to the next
-//     healthy peer, then to the local Fallback backend, and only fails
+//     routable peer, then to the local Fallback backend, and only fails
 //     open when nothing at all can score frames.
 //
 //   - Redial state machine: eviction starts a background redialer that
@@ -18,29 +18,45 @@ package engine
 //     backoff ladder (RedialBase doubling up to RedialMax, +/-50% jitter).
 //     The peer is re-admitted only after a handshake that still speaks the
 //     right wire version at the right resolution — a peer that came back
-//     as something else stays out.
+//     as something else stays out. The probe's round trip seeds the
+//     latency EWMA so the peer re-enters warm, not blind.
 //
 //     healthy --EvictAfter consecutive failures--> evicted
 //     evicted --backoff elapsed--> redialing --handshake ok--> healthy
 //     redialing --handshake failed--> evicted (backoff doubles)
+//     healthy --DrainRemovePeer--> draining --in-flight quiesced--> removed
 //
 //   - Hedged requests: each peer's chunk latency feeds an EWMA (mean +
 //     mean absolute deviation). When a chunk has waited past the peer's
 //     HedgeQuantile-derived delay, the same chunk is re-issued to a second
-//     healthy peer; the first success wins and the loser is canceled via
+//     routable peer; the first success wins and the loser is canceled via
 //     context propagation through post(). A slow peer costs one hedge
 //     instead of a tail-latency spike.
 //
+//   - Live membership: the peer set is a copy-on-write snapshot behind an
+//     atomic pointer, so AddPeer and DrainRemovePeer (the /admin/peers
+//     control plane) mutate topology while dispatch runs lock-free against
+//     whatever snapshot it loaded. Removal drains first — the peer stops
+//     receiving new chunks, in-flight chunks quiesce through its
+//     congestion window, then it leaves the snapshot.
+//
+// Placement itself — which peer a lane prefers, which peer serves a chunk,
+// which peer runs a hedge arm — is delegated to the Router seam
+// (router.go): static round-robin pinning by default, weighted
+// least-loaded placement off the window/EWMA signals when configured.
+//
 // Fleet is an ordinary Backend: serve shards call Replicate and get a
-// replica pinned to a preferred peer (round-robin, shard-per-peer like
-// RemotePool) with its own Stats counters, while all replicas share one
-// health table — an eviction observed by one shard protects every shard.
+// replica carrying a dispatch-lane ordinal (the router maps it to a
+// preferred peer against live membership) with its own Stats counters,
+// while all replicas share one health table — an eviction observed by one
+// shard protects every shard.
 
 import (
 	"context"
 	"fmt"
 	"log"
 	"math"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +76,10 @@ const (
 	PeerEvicted
 	// PeerRedialing: a re-admission handshake is in flight right now.
 	PeerRedialing
+	// PeerDraining: DrainRemovePeer is quiescing the peer — no new chunks
+	// are placed on it while its in-flight chunks finish, then it leaves
+	// the fleet. Terminal: a draining peer is never re-admitted.
+	PeerDraining
 )
 
 // String names the state for /healthz and logs.
@@ -71,6 +91,8 @@ func (s PeerState) String() string {
 		return "evicted"
 	case PeerRedialing:
 		return "redialing"
+	case PeerDraining:
+		return "draining"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -105,6 +127,9 @@ type FleetOptions struct {
 	// remains — the "-peers front also holds a model" deployment. Without
 	// it an all-evicted fleet fails open, same as RemotePool.
 	Fallback Backend
+	// Router is the placement policy (router.go). Nil means StaticRouter —
+	// the pre-seam round-robin pinning, bit-for-bit.
+	Router Router
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -123,6 +148,9 @@ func (o FleetOptions) withDefaults() FleetOptions {
 	if o.HedgeMin <= 0 {
 		o.HedgeMin = 2 * time.Millisecond
 	}
+	if o.Router == nil {
+		o.Router = &StaticRouter{}
+	}
 	return o
 }
 
@@ -130,7 +158,10 @@ func (o FleetOptions) withDefaults() FleetOptions {
 type fleetPeer struct {
 	b *RemoteBackend
 
-	state       atomic.Int32 // PeerState
+	state atomic.Int32 // PeerState
+	// gone flips when the peer has been removed from the fleet snapshot;
+	// a late redialer or failure recorder observing it stands down.
+	gone        atomic.Bool
 	consecFails atomic.Int64
 	// consecCancels counts hedge losses where this peer's arm was canceled
 	// before producing a real outcome. A blackholed peer that is always
@@ -144,11 +175,14 @@ type fleetPeer struct {
 	hedgeWins     metrics.Counter // chunks this peer rescued as the hedge
 	// lat aliases the peer's congestion-window RTT estimator: the window
 	// observes every attempt's round trip inside tryChunk, and the hedge
-	// trigger reads the same stream here — one feed, two consumers.
+	// trigger and weighted router read the same stream here — one feed,
+	// three consumers.
 	lat *metrics.EWMA // attempt latency, milliseconds
 }
 
-func (p *fleetPeer) healthy() bool {
+// routable reports whether the router may place new chunks on the peer:
+// healthy only — evicted, redialing and draining peers take no traffic.
+func (p *fleetPeer) routable() bool {
 	return PeerState(p.state.Load()) == PeerHealthy
 }
 
@@ -200,13 +234,22 @@ type HealthReporter interface {
 }
 
 // Fleet fronts supervised remote peers as one Backend. Safe for concurrent
-// use; replicas share the health table.
+// use; replicas share the health table and the live membership snapshot.
 type Fleet struct {
-	opts    FleetOptions
-	peers   []*fleetPeer
-	next    atomic.Int64 // Replicate pinning + unpinned routing cursor
-	reroute atomic.Int64 // spreads displaced-lane traffic across survivors
-	zHi     float64      // sigma multiplier derived from HedgeQuantile
+	opts   FleetOptions
+	router Router
+	res    int     // shared peer input resolution, fixed for the fleet's life
+	zHi    float64 // sigma multiplier derived from HedgeQuantile
+
+	// peers is the copy-on-write membership snapshot: dispatch loads it
+	// once per chunk and routes against that view, while AddPeer and
+	// DrainRemovePeer swap in a new slice under peersMu. A chunk racing a
+	// removal may still try the departed peer once; it fails over like any
+	// other chunk failure.
+	peers   atomic.Pointer[[]*fleetPeer]
+	peersMu sync.Mutex // serializes membership mutation, never dispatch
+
+	next atomic.Int64 // dispatch-lane ordinal source (Replicate, batches)
 
 	hedges    metrics.Counter // hedges issued
 	hedgeWins metrics.Counter // hedges that beat the primary
@@ -243,6 +286,8 @@ func NewFleet(peers []*RemoteBackend, opts FleetOptions) (*Fleet, error) {
 	}
 	f := &Fleet{
 		opts:   opts,
+		router: opts.Router,
+		res:    res,
 		closed: make(chan struct{}),
 	}
 	// Quantile -> sigma multiplier through the normal inverse CDF, with the
@@ -252,23 +297,33 @@ func NewFleet(peers []*RemoteBackend, opts FleetOptions) (*Fleet, error) {
 	if q := opts.HedgeQuantile; q > 0.5 && q < 1 {
 		f.zHi = 1.25 * math.Sqrt2 * math.Erfinv(2*q-1)
 	}
-	f.peers = make([]*fleetPeer, len(peers))
+	list := make([]*fleetPeer, len(peers))
 	for i, b := range peers {
-		f.peers[i] = &fleetPeer{b: b, lat: b.win.RTT()}
+		list[i] = &fleetPeer{b: b, lat: b.win.RTT()}
 	}
+	f.peers.Store(&list)
 	return f, nil
 }
 
-// Name identifies the fleet and its size.
-func (f *Fleet) Name() string { return fmt.Sprintf("fleet(%d)", len(f.peers)) }
+// peerList loads the current membership snapshot (never nil).
+func (f *Fleet) peerList() []*fleetPeer {
+	return *f.peers.Load()
+}
+
+// Router reports the active placement policy (the /admin/topology surface).
+func (f *Fleet) Router() Router { return f.router }
+
+// Name identifies the fleet and its current size.
+func (f *Fleet) Name() string { return fmt.Sprintf("fleet(%d)", len(f.peerList())) }
 
 // InputRes is the shared peer resolution.
-func (f *Fleet) InputRes() int { return f.peers[0].b.InputRes() }
+func (f *Fleet) InputRes() int { return f.res }
 
 // Peers returns the supervised transports (stats introspection).
 func (f *Fleet) Peers() []*RemoteBackend {
-	out := make([]*RemoteBackend, len(f.peers))
-	for i, p := range f.peers {
+	peers := f.peerList()
+	out := make([]*RemoteBackend, len(peers))
+	for i, p := range peers {
 		out[i] = p.b
 	}
 	return out
@@ -276,8 +331,9 @@ func (f *Fleet) Peers() []*RemoteBackend {
 
 // PeerHealth snapshots every peer's supervisor state.
 func (f *Fleet) PeerHealth() []PeerHealthInfo {
-	out := make([]PeerHealthInfo, len(f.peers))
-	for i, p := range f.peers {
+	peers := f.peerList()
+	out := make([]PeerHealthInfo, len(peers))
+	for i, p := range peers {
 		st := p.b.Stats()
 		win := p.b.win.Stat()
 		tr := p.b.TransportStats()
@@ -309,15 +365,22 @@ func (f *Fleet) PeerHealth() []PeerHealthInfo {
 	return out
 }
 
-// WindowStats reports every supervised peer's congestion-window state
-// (WindowReporter) — the serve admission controller's remote-saturation
-// signal.
+// WindowStats reports the congestion-window state of every peer that can
+// actually take traffic (WindowReporter) — the serve admission
+// controller's remote-saturation signal. Evicted and draining peers are
+// excluded: their windows are collapsed or quiescing by design, and
+// averaging them in would misreport a healthy fleet as saturated (or a
+// drained one as idle capacity).
 func (f *Fleet) WindowStats() []WindowStat {
-	out := make([]WindowStat, len(f.peers))
-	for i, p := range f.peers {
+	peers := f.peerList()
+	out := make([]WindowStat, 0, len(peers))
+	for _, p := range peers {
+		if !p.routable() {
+			continue
+		}
 		st := p.b.win.Stat()
 		st.Peer = p.b.Peer()
-		out[i] = st
+		out = append(out, st)
 	}
 	return out
 }
@@ -337,24 +400,143 @@ func (f *Fleet) Stats() Stats {
 	return Stats{Batches: f.batches.Load(), Frames: f.frames.Load(), Errors: f.errors.Load()}
 }
 
-// InferBatchInto dispatches chunks through the supervisor, starting at the
-// next peer round-robin.
-func (f *Fleet) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
-	pref := int(f.next.Add(1)-1) % len(f.peers)
-	return f.inferBatch(pref, frames, out, &f.batches, &f.frames, &f.errors)
+// AddPeer admits a freshly-dialed peer into the fleet — the POST
+// /admin/peers control plane. The backend must already have passed its
+// dial-time /modelz handshake (NewRemote enforces it) and serve the
+// fleet's resolution; it enters healthy, with its window's EWMA seeded
+// from that handshake, and starts taking traffic on the next chunk that
+// loads the new snapshot.
+func (f *Fleet) AddPeer(rb *RemoteBackend) error {
+	if rb == nil {
+		return fmt.Errorf("engine: fleet cannot add a nil peer")
+	}
+	if rb.InputRes() != f.res {
+		return fmt.Errorf("engine: fleet serves res %d, new peer %s serves %d",
+			f.res, rb.Peer(), rb.InputRes())
+	}
+	f.peersMu.Lock()
+	defer f.peersMu.Unlock()
+	select {
+	case <-f.closed:
+		return fmt.Errorf("engine: fleet is closed")
+	default:
+	}
+	cur := f.peerList()
+	for _, p := range cur {
+		if p.b.Peer() == rb.Peer() {
+			return fmt.Errorf("engine: fleet already has peer %s", rb.Peer())
+		}
+	}
+	next := make([]*fleetPeer, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, &fleetPeer{b: rb, lat: rb.win.RTT()})
+	f.peers.Store(&next)
+	log.Printf("engine: fleet added peer %s (%d peers)", rb.Peer(), len(next))
+	return nil
 }
 
-// Replicate pins a replica to the next peer round-robin: N serve shards
-// over N peers yields a dispatch lane per peer, exactly like RemotePool —
-// but the lane fails over instead of failing open.
+// DrainRemovePeer removes the peer matching id ("host:port" or the full
+// base URL) — the DELETE /admin/peers/{id} control plane. A healthy peer
+// drains first: it stops receiving new chunks immediately (the router
+// skips draining peers) and its in-flight chunks are waited out through
+// the congestion window, up to timeout (default 5s; removal proceeds
+// regardless after it, logged). Evicted and redialing peers have no
+// traffic to drain and are removed at once. Returns the removed backend
+// (already closed) so the caller can deregister it elsewhere. The last
+// peer of a fallback-less fleet is refused: removing it would turn every
+// subsequent chunk into a fail-open.
+func (f *Fleet) DrainRemovePeer(id string, timeout time.Duration) (*RemoteBackend, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	f.peersMu.Lock()
+	cur := f.peerList()
+	var victim *fleetPeer
+	for _, p := range cur {
+		if peerMatches(p.b.Peer(), id) {
+			victim = p
+			break
+		}
+	}
+	if victim == nil {
+		f.peersMu.Unlock()
+		return nil, fmt.Errorf("engine: fleet has no peer %q", id)
+	}
+	if len(cur) == 1 && f.opts.Fallback == nil {
+		f.peersMu.Unlock()
+		return nil, fmt.Errorf("engine: refusing to remove %s: last peer of a fallback-less fleet", victim.b.Peer())
+	}
+	if PeerState(victim.state.Load()) == PeerDraining {
+		f.peersMu.Unlock()
+		return nil, fmt.Errorf("engine: peer %s is already draining", victim.b.Peer())
+	}
+	// stop new placements: the router never picks a non-healthy peer, so
+	// flipping the state is the whole admission cut. Evicted/redialing
+	// peers fail the CAS and skip straight to removal below.
+	draining := victim.state.CompareAndSwap(int32(PeerHealthy), int32(PeerDraining))
+	f.peersMu.Unlock()
+
+	if draining {
+		// quiesce: every dispatch holds one window slot for its whole try
+		// (tryChunk), so InFlight reaching 0 means no chunk is against the
+		// peer. A chunk that picked the peer from a pre-drain snapshot but
+		// has not acquired yet can slip through; it either completes
+		// against the still-listening process or fails over — never open.
+		deadline := time.Now().Add(timeout)
+		for victim.b.win.Stat().InFlight > 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if victim.b.win.Stat().InFlight > 0 {
+			log.Printf("engine: fleet removing %s with chunks still in flight after %v drain", victim.b.Peer(), timeout)
+		}
+	}
+
+	f.peersMu.Lock()
+	cur = f.peerList()
+	next := make([]*fleetPeer, 0, len(cur))
+	for _, p := range cur {
+		if p != victim {
+			next = append(next, p)
+		}
+	}
+	f.peers.Store(&next)
+	victim.gone.Store(true)
+	f.peersMu.Unlock()
+	victim.b.Close()
+	log.Printf("engine: fleet removed peer %s (%d peers left)", victim.b.Peer(), len(next))
+	return victim.b, nil
+}
+
+// peerMatches resolves a control-plane peer id against a normalized base
+// URL: the full URL or just its host:port both address the peer.
+func peerMatches(peerBase, id string) bool {
+	if peerBase == id {
+		return true
+	}
+	u, err := url.Parse(peerBase)
+	return err == nil && u.Host == id
+}
+
+// InferBatchInto dispatches chunks through the supervisor on a fresh
+// dispatch lane per batch (round-robin under the static router).
+func (f *Fleet) InferBatchInto(frames []*imaging.Bitmap, out []float64) []float64 {
+	lane := int(f.next.Add(1) - 1)
+	return f.inferBatch(lane, frames, out, &f.batches, &f.frames, &f.errors)
+}
+
+// Replicate hands out the next dispatch-lane ordinal: N serve shards over
+// N peers yields a lane per peer under the static router, exactly like
+// RemotePool — but the lane fails over instead of failing open. The lane
+// is stored raw (not modded) so the router can re-map it when membership
+// changes underneath it.
 func (f *Fleet) Replicate() Backend {
-	return &fleetReplica{f: f, pref: int(f.next.Add(1)-1) % len(f.peers)}
+	return &fleetReplica{f: f, pref: int(f.next.Add(1) - 1)}
 }
 
 // Warm pings every peer (logging and counting dead ones — see
 // RemoteBackend.Warm) and warms the fallback's arenas.
 func (f *Fleet) Warm(maxBatch int) {
-	for _, p := range f.peers {
+	for _, p := range f.peerList() {
 		p.b.Warm(maxBatch)
 	}
 	if f.opts.Fallback != nil {
@@ -374,16 +556,16 @@ func (f *Fleet) Close() {
 	}
 	f.closeMu.Unlock()
 	f.redials.Wait()
-	for _, p := range f.peers {
+	for _, p := range f.peerList() {
 		p.b.Close()
 	}
 }
 
 // fleetReplica is a shard's lane into the fleet: its own counters and
-// preferred peer, everything else shared.
+// dispatch-lane ordinal, everything else shared.
 type fleetReplica struct {
 	f    *Fleet
-	pref int
+	pref int // lane ordinal; the router maps it to a preferred peer
 
 	batches atomic.Int64
 	frames  atomic.Int64
@@ -396,8 +578,14 @@ func (r *fleetReplica) Stats() Stats {
 	return Stats{Batches: r.batches.Load(), Frames: r.frames.Load(), Errors: r.errors.Load()}
 }
 func (r *fleetReplica) Replicate() Backend { return r.f.Replicate() }
-func (r *fleetReplica) Warm(maxBatch int)  { r.f.peers[r.pref].b.Warm(maxBatch) }
-func (r *fleetReplica) Close()             {} // the fleet owns the shared transports
+func (r *fleetReplica) Warm(maxBatch int) {
+	peers := r.f.peerList()
+	if len(peers) == 0 {
+		return
+	}
+	peers[r.f.router.Pin(r.pref, len(peers))].b.Warm(maxBatch)
+}
+func (r *fleetReplica) Close() {} // the fleet owns the shared transports
 
 // PeerHealth lets a shard replica answer for the whole fleet (the serving
 // layer discovers health through any replica).
@@ -412,7 +600,7 @@ func (r *fleetReplica) InferBatchInto(frames []*imaging.Bitmap, out []float64) [
 
 // inferBatch chunks a batch through the supervisor on behalf of the fleet
 // or one of its replicas, charging the caller's counters.
-func (f *Fleet) inferBatch(pref int, frames []*imaging.Bitmap, out []float64, batches, nframes, errs *atomic.Int64) []float64 {
+func (f *Fleet) inferBatch(lane int, frames []*imaging.Bitmap, out []float64, batches, nframes, errs *atomic.Int64) []float64 {
 	if len(frames) == 0 {
 		return out[:0]
 	}
@@ -422,7 +610,7 @@ func (f *Fleet) inferBatch(pref int, frames []*imaging.Bitmap, out []float64, ba
 		if hi > len(frames) {
 			hi = len(frames)
 		}
-		if f.dispatchChunk(pref, frames[lo:hi], out[lo:hi]) {
+		if f.dispatchChunk(lane, frames[lo:hi], out[lo:hi]) {
 			batches.Add(1)
 		} else {
 			// Fail open only once every peer and the fallback are gone:
@@ -437,28 +625,19 @@ func (f *Fleet) inferBatch(pref int, frames []*imaging.Bitmap, out []float64, ba
 	return out
 }
 
-// pickHealthy scans for a healthy peer starting at start, skipping skip.
-func (f *Fleet) pickHealthy(start int, skip *fleetPeer) *fleetPeer {
-	n := len(f.peers)
-	for i := 0; i < n; i++ {
-		p := f.peers[(start+i)%n]
-		if p != skip && p.healthy() {
-			return p
-		}
-	}
-	return nil
-}
-
-// dispatchChunk scores one chunk somewhere: the preferred peer (hedged),
-// failing over across the remaining healthy peers, then the local
-// fallback. Reports whether a real verdict was produced.
-func (f *Fleet) dispatchChunk(pref int, frames []*imaging.Bitmap, out []float64) bool {
+// dispatchChunk scores one chunk somewhere: the router's pick (hedged),
+// failing over across the remaining routable peers, then the local
+// fallback. Reports whether a real verdict was produced. The membership
+// snapshot is loaded once — the chunk routes against one consistent view.
+func (f *Fleet) dispatchChunk(lane int, frames []*imaging.Bitmap, out []float64) bool {
+	peers := f.peerList()
 	// one wireChunk per dispatch, shared by every failover try and hedge
 	// arm: each wire encoding (HTTP body, content keys) is computed at most
 	// once no matter how many peers or transports see the chunk
 	chunk := f.chunks.get(frames)
 	defer f.chunks.put(chunk)
 
+	pref := f.router.Pin(lane, len(peers))
 	var tried [8]*fleetPeer // failover path; fleets are small
 	ntried := 0
 	skip := func(p *fleetPeer) bool {
@@ -469,28 +648,12 @@ func (f *Fleet) dispatchChunk(pref int, frames []*imaging.Bitmap, out []float64)
 		}
 		return false
 	}
-	for ntried < len(f.peers) && ntried < len(tried) {
-		var p *fleetPeer
-		start := pref
-		if ntried > 0 || !f.peers[pref%len(f.peers)].healthy() {
-			// The preferred lane is out (or already failed this chunk):
-			// rotate the scan start so displaced traffic spreads across the
-			// survivors. A fixed forward scan would re-route every displaced
-			// lane to the same next peer — with the first peer down that
-			// doubles one survivor's load while the spare sits idle.
-			start = int(f.reroute.Add(1) - 1)
-		}
-		for i := 0; i < len(f.peers); i++ {
-			c := f.peers[(start+i)%len(f.peers)]
-			if c.healthy() && !skip(c) {
-				p = c
-				break
-			}
-		}
+	for ntried < len(peers) && ntried < len(tried) {
+		p := f.router.Pick(peers, pref, skip, ntried == 0)
 		if p == nil {
 			break
 		}
-		if f.sendHedged(p, pref, chunk, out) {
+		if f.sendHedged(peers, p, pref, chunk, out) {
 			return true
 		}
 		tried[ntried] = p
@@ -543,11 +706,11 @@ type hedgeOutcome struct {
 	err  error
 }
 
-// sendHedged runs one chunk against peer p, re-issuing it to a second
-// healthy peer once p's hedge delay expires; the first success cancels the
+// sendHedged runs one chunk against peer p, re-issuing it to the router's
+// hedge pick once p's hedge delay expires; the first success cancels the
 // other arm. Reports whether the chunk was scored into out; failures are
 // recorded against every peer that actually failed.
-func (f *Fleet) sendHedged(p *fleetPeer, pref int, chunk *wireChunk, out []float64) bool {
+func (f *Fleet) sendHedged(peers []*fleetPeer, p *fleetPeer, pref int, chunk *wireChunk, out []float64) bool {
 	delay := f.hedgeDelay(p)
 	arm := func(pr *fleetPeer) (func(), chan hedgeOutcome) {
 		ctx, cancel := context.WithTimeout(context.Background(), f.chunkBudget(pr))
@@ -577,7 +740,7 @@ func (f *Fleet) sendHedged(p *fleetPeer, pref int, chunk *wireChunk, out []float
 	defer cancelP()
 	var h *fleetPeer
 	if delay > 0 {
-		h = f.pickHealthy(pref+1, p)
+		h = f.router.Hedge(peers, pref, p)
 	}
 	if h == nil {
 		// no hedge candidate (or hedging unarmed): plain dispatch
@@ -659,8 +822,12 @@ func (f *Fleet) putScores(s []float64) {
 
 // recordFailure advances the supervisor: one more consecutive failure, and
 // past EvictAfter the peer trips to evicted and its redialer starts. The
-// CAS guarantees exactly one redialer per eviction.
+// CAS guarantees exactly one redialer per eviction — and keeps a draining
+// or removed peer out of the redial machine entirely.
 func (f *Fleet) recordFailure(p *fleetPeer) {
+	if p.gone.Load() {
+		return
+	}
 	if p.consecFails.Add(1) < int64(f.opts.EvictAfter) {
 		return
 	}
@@ -678,7 +845,8 @@ func (f *Fleet) recordFailure(p *fleetPeer) {
 
 // redial is the background re-admission state machine for one evicted
 // peer: sleep the jittered backoff, probe /modelz, re-admit on a valid
-// handshake, double the backoff and stay evicted otherwise.
+// handshake, double the backoff and stay evicted otherwise. A peer removed
+// from the fleet mid-redial is abandoned.
 func (f *Fleet) redial(p *fleetPeer) {
 	defer f.redials.Done()
 	backoff := f.opts.RedialBase
@@ -690,17 +858,29 @@ func (f *Fleet) redial(p *fleetPeer) {
 			timer.Stop()
 			return
 		}
+		if p.gone.Load() {
+			return
+		}
 		p.state.Store(int32(PeerRedialing))
 		p.redials.Inc()
+		probeStart := time.Now()
 		info, err := p.b.handshake(p.b.modelzURL)
+		probeRTT := time.Since(probeStart)
 		if err == nil && p.b.tr.compatible(info) && info.InputRes == p.b.res {
+			if p.gone.Load() {
+				return
+			}
 			// fresh handshake at the right version and resolution: re-admit
 			// with a clean slate — stale pre-eviction latency must not arm
 			// the hedge trigger against a peer that just came back, and the
-			// window restarts in slow start (Reset clears the shared EWMA)
+			// window restarts in slow start (Reset clears the shared EWMA).
+			// The probe's own round trip then seeds the estimator, so the
+			// weighted router scores the re-admitted peer off a live
+			// measurement instead of a cold optimistic prior.
 			p.consecFails.Store(0)
 			p.consecCancels.Store(0)
 			p.b.win.Reset()
+			p.b.win.SeedRTT(probeRTT)
 			p.state.Store(int32(PeerHealthy))
 			log.Printf("engine: fleet re-admitted %s", p.b.Peer())
 			return

@@ -282,6 +282,95 @@ func TestChaosHedgeRescuesSlowPeer(t *testing.T) {
 		before, runtime.NumGoroutine())
 }
 
+// TestFleetLiveMembership: peers join and leave a dispatching fleet with
+// zero fail-open — AddPeer routes immediately, DrainRemovePeer quiesces
+// in-flight chunks then removes, dedup and last-peer guards hold, and the
+// removed peer's supervision (redial included) is fully torn down.
+func TestFleetLiveMembership(t *testing.T) {
+	net, res := testNet(t, 16)
+	a, b := NewFP32(net, res), NewFP32(net, res)
+	defer a.Close()
+	defer b.Close()
+	tsA, _ := newFaultyPeer(t, a)
+	tsB, _ := newFaultyPeer(t, b)
+
+	f := dialFleet(t, FleetOptions{HedgeQuantile: -1}, tsA.URL)
+	frames := synth.SampleFrames(7, 3)
+	want := make([]float64, len(frames))
+	a.InferBatchInto(frames, want)
+
+	// background load across the whole membership change
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, len(frames))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.InferBatchInto(frames, out)
+				for j := range out {
+					if out[j] != want[j] {
+						t.Errorf("membership churn: frame %d scored %v, want %v", j, out[j], want[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	rbB, err := NewRemote(tsB.URL, RemoteOptions{Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPeer(rbB); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPeer(rbB); err == nil {
+		t.Fatal("duplicate peer admitted")
+	}
+	if len(f.PeerHealth()) != 2 {
+		t.Fatalf("fleet health after add: %+v", f.PeerHealth())
+	}
+
+	// drain + remove the original peer while traffic flows
+	peerA := f.Peers()[0].Peer()
+	removed, err := f.DrainRemovePeer(peerA, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Peer() != peerA {
+		t.Fatalf("removed %q, want %q", removed.Peer(), peerA)
+	}
+	if _, err := f.DrainRemovePeer(peerA, time.Second); err == nil {
+		t.Fatal("removed the same peer twice")
+	}
+	// the last peer of a fallback-less fleet must refuse to leave
+	if _, err := f.DrainRemovePeer(rbB.Peer(), time.Second); err == nil {
+		t.Fatal("drained the last peer of a fallback-less fleet")
+	}
+
+	close(stop)
+	wg.Wait()
+	if st := f.Stats(); st.Errors != 0 {
+		t.Fatalf("fail-open during membership churn: %+v", st)
+	}
+	if len(f.PeerHealth()) != 1 || f.Peers()[0].Peer() != rbB.Peer() {
+		t.Fatalf("post-removal membership: %+v", f.PeerHealth())
+	}
+	// the new peer actually serves
+	out := make([]float64, len(frames))
+	f.InferBatchInto(frames, out)
+	if rbB.Stats().Frames == 0 {
+		t.Fatal("admitted peer never served a frame")
+	}
+}
+
 // TestFleetReplicatePinsPeers: replicas pin round-robin like RemotePool
 // (shard-per-peer), share the health table, and keep their own counters.
 func TestFleetReplicatePinsPeers(t *testing.T) {
@@ -296,8 +385,11 @@ func TestFleetReplicatePinsPeers(t *testing.T) {
 	r0 := f.Replicate().(*fleetReplica)
 	r1 := f.Replicate().(*fleetReplica)
 	r2 := f.Replicate().(*fleetReplica)
-	if r0.pref == r1.pref || r2.pref != r0.pref {
-		t.Fatalf("replica pinning %d/%d/%d, want round-robin with wraparound", r0.pref, r1.pref, r2.pref)
+	// lanes are raw ordinals; the router maps them onto live membership
+	n := len(f.peerList())
+	p0, p1, p2 := f.router.Pin(r0.pref, n), f.router.Pin(r1.pref, n), f.router.Pin(r2.pref, n)
+	if p0 == p1 || p2 != p0 {
+		t.Fatalf("replica pinning %d/%d/%d, want round-robin with wraparound", p0, p1, p2)
 	}
 	frames := synth.SampleFrames(7, 2)
 	out := make([]float64, len(frames))

@@ -3,18 +3,26 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry names the backends a service knows about — model versions,
 // engine variants — and designates one as the default. Selecting a backend
 // by name with fallback to the default is how callers express engine
 // policy ("int8 if the parity gate passed, fp32 otherwise") without inline
-// branching at every call site.
+// branching at every call site. It also hosts the agreement-gated canary
+// controller (canary.go) that automates default promotion between model
+// versions.
 type Registry struct {
 	mu    sync.RWMutex
 	m     map[string]Backend
 	names []string // registration order, for stable listings
 	def   string
+
+	// canary is the active (or most recently finished) rollout controller.
+	// Atomic so the CanaryBackend dispatch path reads it lock-free; only
+	// BeginCanary swaps it, under mu.
+	canary atomic.Pointer[canaryController]
 }
 
 // NewRegistry returns an empty registry.
@@ -41,6 +49,29 @@ func (r *Registry) Register(name string, b Backend) error {
 	r.names = append(r.names, name)
 	if r.def == "" {
 		r.def = name
+	}
+	return nil
+}
+
+// Deregister removes a named backend without closing it (the caller owns
+// the shutdown — a fleet drain wants the transport alive until in-flight
+// chunks quiesce). The default cannot be deregistered: dispatch paths
+// lean on Select's fallback never being nil.
+func (r *Registry) Deregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; !ok {
+		return fmt.Errorf("engine: backend %q not registered", name)
+	}
+	if r.def == name {
+		return fmt.Errorf("engine: cannot deregister the default backend %q", name)
+	}
+	delete(r.m, name)
+	for i, n := range r.names {
+		if n == name {
+			r.names = append(r.names[:i], r.names[i+1:]...)
+			break
+		}
 	}
 	return nil
 }

@@ -116,6 +116,7 @@ type RemoteBackend struct {
 	batchURL   string // POST target incl. ?model=
 	modelzURL  string // GET handshake target incl. ?model=
 	name       string
+	instanceID string // peer daemon's per-process identity (may be "")
 	res        int
 	timeout    time.Duration
 	retries    int
@@ -163,10 +164,15 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 		b.batchURL += q
 		b.modelzURL += q
 	}
+	dialStart := time.Now()
 	info, err := b.handshake(b.modelzURL)
 	if err != nil {
 		return nil, fmt.Errorf("engine: remote peer %s: %w", u.Host, err)
 	}
+	// the handshake round trip seeds the latency EWMA so the peer enters
+	// the fleet warm — the weighted router and hedging would otherwise fly
+	// blind until dispatch samples converge (see CubicWindow.SeedRTT)
+	b.win.SeedRTT(time.Since(dialStart))
 	if !wireCompatible(info.WireVersion) {
 		// refuse a version-skewed fleet at dial time: a peer outside the
 		// compatibility range would deterministically reject every batch,
@@ -182,6 +188,7 @@ func NewRemote(peer string, opts RemoteOptions) (*RemoteBackend, error) {
 			u.Host, info.InputRes, opts.ExpectRes)
 	}
 	b.res = info.InputRes
+	b.instanceID = info.InstanceID
 	b.name = "remote:" + info.Engine + "@" + u.Host
 	if b.tr, err = pickTransport(opts, u.Host, info, b); err != nil {
 		return nil, err
@@ -242,6 +249,13 @@ func (b *RemoteBackend) Name() string { return b.name }
 
 // Peer returns the normalized peer base URL.
 func (b *RemoteBackend) Peer() string { return b.peer }
+
+// InstanceID returns the peer daemon's per-process identity from the dial
+// handshake ("" when the peer predates the field). Dialers use it to
+// reject self-dials: a -peers or /admin/peers address that loops back to
+// the dialing daemon would score every chunk through an infinite proxy
+// recursion.
+func (b *RemoteBackend) InstanceID() string { return b.instanceID }
 
 // InputRes is the peer's network input resolution (from the handshake).
 func (b *RemoteBackend) InputRes() int { return b.res }
@@ -410,6 +424,7 @@ func (b *RemoteBackend) Replicate() Backend {
 		batchURL:   b.batchURL,
 		modelzURL:  b.modelzURL,
 		name:       b.name,
+		instanceID: b.instanceID,
 		res:        b.res,
 		timeout:    b.timeout,
 		retries:    b.retries,

@@ -289,6 +289,11 @@ type ModelzInfo struct {
 	Threshold float64 `json:"threshold"`
 	// Backends lists the peer's registry entries (?model= candidates).
 	Backends []string `json:"backends,omitempty"`
+	// InstanceID is the serving daemon's per-process identity (random at
+	// startup). Dialers compare it against their own to reject self-dials
+	// — an address looping back to the dialing daemon would proxy chunks
+	// into itself recursively. Empty from peers predating the field.
+	InstanceID string `json:"instance_id,omitempty"`
 }
 
 // ModelzHandler serves GET /modelz, the proxy handshake, for an HTTP-only
@@ -303,6 +308,14 @@ func ModelzHandler(reg *Registry, def Backend, threshold float64) http.HandlerFu
 // wire v2 and the listener address, so dialing proxies negotiate the socket
 // transport. An empty wireAddr degrades to the plain v1 handshake.
 func ModelzHandlerWire(reg *Registry, def Backend, threshold float64, wireAddr string) http.HandlerFunc {
+	return ModelzHandlerID(reg, def, threshold, wireAddr, "")
+}
+
+// ModelzHandlerID is ModelzHandlerWire carrying the daemon's per-process
+// instance ID, letting dialing proxies detect self-dials (see
+// ModelzInfo.InstanceID). percival-serve mounts this variant; the shorter
+// wrappers remain for peers without an identity to advertise.
+func ModelzHandlerID(reg *Registry, def Backend, threshold float64, wireAddr, instanceID string) http.HandlerFunc {
 	version := wireVersion
 	if wireAddr != "" {
 		version = wireVersionSock
@@ -321,6 +334,7 @@ func ModelzHandlerWire(reg *Registry, def Backend, threshold float64, wireAddr s
 			InputRes:    b.InputRes(),
 			Threshold:   threshold,
 			Backends:    names,
+			InstanceID:  instanceID,
 		})
 	}
 }

@@ -301,6 +301,21 @@ func (w *CubicWindow) Reset() {
 	w.mu.Unlock()
 }
 
+// SeedRTT primes the RTT estimator with one measured round trip — the
+// /modelz handshake RTT at dial and re-admission time. Without the seed a
+// (re)dialed peer enters cold: hedging and the weighted router both
+// misjudge it until dispatch samples re-converge, and the static failover
+// scan meanwhile routes real traffic by a fiction. One sample is
+// deliberate: the hedge trigger arms at N() >= 3 and the adaptive RTO at
+// windowRTOSamples, so a seed can bias neither — it only gives the
+// weighted router's score a live prior instead of the optimistic floor.
+func (w *CubicWindow) SeedRTT(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	w.rtt.Observe(float64(d.Nanoseconds()) / 1e6)
+}
+
 // RTO derives the adaptive per-attempt timeout from the estimator:
 // mean + 4·dev milliseconds (RFC 6298 shape), floored at RTOMin. Zero
 // means "no opinion yet" — before windowRTOSamples observations the

@@ -255,7 +255,12 @@ func (c *AdmissionController) AdmitQueue(qlen, qcap int) BrownoutStage {
 // sampleWindows refreshes the remote-saturation reading at most once per
 // WindowPeriod and returns the latest value: the mean, over peers, of
 // in-flight depth against the congestion window. A fleet pinned at its
-// windows is congested no matter how shallow the local queues are.
+// windows is congested no matter how shallow the local queues are. The
+// reporter's rows cover only peers that can take traffic (the fleet
+// excludes evicted and draining peers — see Fleet.WindowStats), so a
+// mid-drain topology change neither dilutes the mean with a quiescing
+// window nor spikes it with a collapsed one; an empty row set (no routable
+// peer, dispatch on the local fallback) reads as zero remote saturation.
 func (c *AdmissionController) sampleWindows() float64 {
 	now := c.now()
 	if !c.mu.TryLock() {

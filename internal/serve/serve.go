@@ -442,10 +442,15 @@ func (s *Server) BackendStats() []engine.Stats {
 // FleetHealth reports per-peer supervisor state when the shards dispatch
 // into a supervised fleet (engine.HealthReporter), nil for local backends.
 // Replicas share one health table, so any shard's answer is the fleet's.
+// A reporter answering nil does not end the scan: proxy backends (the
+// canary rollout wrapper) implement the interface unconditionally and
+// answer nil when their inner path is local.
 func (s *Server) FleetHealth() []engine.PeerHealthInfo {
 	for _, sh := range s.shards {
 		if hr, ok := sh.backend.(engine.HealthReporter); ok {
-			return hr.PeerHealth()
+			if ph := hr.PeerHealth(); ph != nil {
+				return ph
+			}
 		}
 	}
 	return nil
@@ -454,11 +459,14 @@ func (s *Server) FleetHealth() []engine.PeerHealthInfo {
 // WindowStats reports per-peer congestion-window state when the shards
 // dispatch into window-gated remotes (engine.WindowReporter), nil for local
 // backends. Replicas share their peer's window, so any shard's answer is
-// the fleet's.
+// the fleet's. Like FleetHealth, a nil answer from a proxy backend does
+// not end the scan.
 func (s *Server) WindowStats() []engine.WindowStat {
 	for _, sh := range s.shards {
 		if wr, ok := sh.backend.(engine.WindowReporter); ok {
-			return wr.WindowStats()
+			if ws := wr.WindowStats(); ws != nil {
+				return ws
+			}
 		}
 	}
 	return nil
